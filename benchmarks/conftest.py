@@ -1,0 +1,39 @@
+"""Benchmark-suite plumbing.
+
+Each module regenerates one figure of the paper: it runs the experiment
+driver once under pytest-benchmark (timing the full experiment), prints
+the reproduced rows, writes them to ``benchmarks/results/``, and asserts
+the paper's qualitative claims (who wins, roughly by how much).
+
+Scale is selected with ``REPRO_SCALE`` (smoke / default / paper).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a rendered table to the terminal (outside capture) and save
+    it under benchmarks/results/<name>.txt."""
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Ablation benches: ADAPT mechanism toggles and victim-policy sweep."""
+
+from repro.experiments.ablation import (
+    render_ablation,
+    run_mechanism_ablation,
+    run_victim_ablation,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_mechanisms(benchmark, emit):
+    rows = run_once(benchmark, run_mechanism_ablation)
+    emit("ablation_mechanisms", render_ablation(rows))
+
+    by = {r.variant: r for r in rows}
+    # Full ADAPT beats the bare substrate on production workloads.
+    assert by["full"].overall_wa < by["substrate-only"].overall_wa
+    # Cross-group aggregation is the padding lever: disabling it raises
+    # padding traffic.
+    assert by["no-aggregation"].padding_ratio > by["full"].padding_ratio
+    # Every variant is a physical WA.
+    assert all(r.overall_wa >= 1.0 for r in rows)
+
+
+def test_ablation_victim_policies(benchmark, emit):
+    rows = run_once(benchmark, run_victim_ablation)
+    emit("ablation_victims", render_ablation(rows))
+
+    by = {r.variant: r for r in rows}
+    assert len(by) == 5
+    # All victim policies land in a sane band; the greedy family should
+    # be within 2x of the best.
+    best = min(r.overall_wa for r in rows)
+    assert all(r.overall_wa < 2.0 * best for r in rows)
+    # d-choice approximates greedy (paper's related-work claim).
+    assert abs(by["d-choice"].overall_wa - by["greedy"].overall_wa) \
+        < 0.5 * by["greedy"].overall_wa

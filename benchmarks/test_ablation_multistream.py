@@ -1,0 +1,25 @@
+"""Multi-stream mapping ablation bench (§3.1 side claim)."""
+
+from repro.experiments.multistream import render_multistream, run_multistream
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_multistream(benchmark, emit):
+    rows = run_once(benchmark, run_multistream)
+    emit("ablation_multistream", render_multistream(rows))
+
+    by = {(r.scheme, r.mode): r for r in rows}
+    for scheme in {r.scheme for r in rows}:
+        single = by[(scheme, "single-stream")]
+        multi = by[(scheme, "multi-stream")]
+        # Same host-level behaviour; device WA must not get worse with
+        # per-group streams, and all WAs are physical.
+        assert multi.host_wa == single.host_wa
+        assert multi.device_wa <= single.device_wa + 1e-9, scheme
+        assert multi.device_wa >= 1.0
+    # At least one scheme shows a real in-device win.
+    gains = [by[(s, "single-stream")].device_wa -
+             by[(s, "multi-stream")].device_wa
+             for s in {r.scheme for r in rows}]
+    assert max(gains) > 0.005, gains

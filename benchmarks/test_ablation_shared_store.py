@@ -1,0 +1,32 @@
+"""Shared-log consolidation bench (extension experiment)."""
+
+from repro.experiments.shared_store import (
+    render_shared_store,
+    run_shared_store,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_shared_store(benchmark, emit):
+    rows = run_once(benchmark, run_shared_store)
+    emit("ablation_shared_store", render_shared_store(rows))
+
+    by = {(r.scheme, r.deployment): r for r in rows}
+    schemes = {r.scheme for r in rows}
+    for scheme in schemes:
+        pv = by[(scheme, "per-volume")]
+        sh = by[(scheme, "shared")]
+        # Consolidation must never make padding materially worse (ties are
+        # expected for single-user-group schemes whose chunks already fill).
+        assert sh.padding_ratio <= pv.padding_ratio * 1.05, scheme
+        assert sh.write_amplification >= 1.0
+    # The headline benefit concentrates where grouping splits sparse
+    # streams: ADAPT gains from consolidation on both padding and WA.
+    adapt_pv = by[("adapt", "per-volume")]
+    adapt_sh = by[("adapt", "shared")]
+    assert adapt_sh.padding_ratio < adapt_pv.padding_ratio
+    assert adapt_sh.write_amplification < adapt_pv.write_amplification
+    # ADAPT remains the best shared-store scheme.
+    shared = {s: by[(s, "shared")].write_amplification for s in schemes}
+    assert shared["adapt"] <= min(shared.values()) * 1.05, shared

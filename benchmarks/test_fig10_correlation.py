@@ -1,0 +1,22 @@
+"""Fig 10 — padding-reduction vs WA-reduction correlation bench."""
+
+from repro.experiments.fig10 import correlation, render_fig10, run_fig10
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_correlation(benchmark, emit):
+    points = run_once(benchmark, run_fig10)
+    emit("fig10_correlation", render_fig10(points))
+
+    assert len(points) >= 4
+    # The paper's claim: WA reduction is strongly correlated with padding
+    # reduction across volumes.
+    r = correlation(points)
+    assert r > 0.3, r
+    # Volumes where ADAPT removes a large share of padding see real WA
+    # wins (paper: >40 % padding reduction => >=21 % WA reduction).
+    big_pad = [p for p in points if p.padding_reduction > 0.4]
+    if big_pad:
+        assert sum(p.wa_reduction > 0.05 for p in big_pad) \
+            >= len(big_pad) * 0.6

@@ -1,0 +1,65 @@
+"""Fig 11 — access-density and skewness sensitivity bench."""
+
+from repro.experiments.fig11 import (
+    render_fig11,
+    run_fig11_density,
+    run_fig11_skew,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_fig11_density(benchmark, emit):
+    points = run_once(benchmark, run_fig11_density)
+    emit("fig11_density", render_fig11(points))
+
+    by = {(p.setting, p.scheme): p for p in points}
+    schemes = sorted({p.scheme for p in points})
+
+    # Light traffic: ADAPT lowest WA (paper: 21.2-53.5 % fewer GC writes);
+    # SepGC beats the multi-user-group schemes (MiDA, WARCIP).
+    light = {s: by[("LIGHT", s)].write_amplification for s in schemes}
+    assert light["adapt"] == min(light.values()), light
+    assert light["adapt"] < 0.9 * light["sepgc"], light
+    # SepGC performs second only to ADAPT under light load (paper): the
+    # multi-user-group schemes must not beat it beyond noise.
+    assert light["sepgc"] < light["mida"] * 1.05, light
+    assert light["sepgc"] < light["warcip"] * 1.05, light
+
+    # WA decreases with density for every scheme.
+    for s in schemes:
+        assert by[("HEAVY", s)].write_amplification < \
+            by[("LIGHT", s)].write_amplification, s
+
+    # Heavy traffic: padding is (almost) eliminated across all schemes.
+    for s in schemes:
+        assert by[("HEAVY", s)].padding_ratio < 0.25, (
+            s, by[("HEAVY", s)].padding_ratio)
+
+    # ADAPT stays within a whisker of the best at heavy density
+    # (paper: 5.2-22.4 % fewer GC writes than the others).
+    heavy = {s: by[("HEAVY", s)].write_amplification for s in schemes}
+    assert heavy["adapt"] <= min(heavy.values()) * 1.10, heavy
+
+
+def test_fig11_skew(benchmark, emit):
+    points = run_once(benchmark, run_fig11_skew)
+    emit("fig11_skew", render_fig11(points))
+
+    by = {(p.setting, p.scheme): p for p in points}
+    schemes = sorted({p.scheme for p in points})
+
+    # WA declines as locality rises: strongest-locality point below the
+    # uniform point for every scheme (paper: all schemes improve).
+    for s in schemes:
+        assert by[("0.99", s)].write_amplification < \
+            by[("0.00", s)].write_amplification, s
+
+    # At alpha=0 (uniform) the schemes bunch together: block temperatures
+    # are indistinguishable, so separation cannot help much.
+    uniform = [by[("0.00", s)].write_amplification for s in schemes]
+    assert max(uniform) / min(uniform) < 1.6, uniform
+
+    # At strong locality ADAPT is (near-)best (paper: lowest at 0.9).
+    strong = {s: by[("0.90", s)].write_amplification for s in schemes}
+    assert strong["adapt"] <= min(strong.values()) * 1.10, strong

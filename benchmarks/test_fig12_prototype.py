@@ -1,0 +1,43 @@
+"""Fig 12 — prototype throughput and memory bench."""
+
+from repro.experiments.fig12 import (
+    adapt_speedup,
+    render_fig12,
+    run_fig12a,
+    run_fig12b,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_prototype(benchmark, emit):
+    def run_both():
+        return run_fig12a(), run_fig12b()
+    rows_a, rows_b = run_once(benchmark, run_both)
+    emit("fig12_prototype", render_fig12(rows_a, rows_b))
+
+    # (a) One client: all schemes within ~5 % and SepGC on top (cheapest
+    # lookup path — the paper's observation).
+    one = {r.scheme: r.throughput_kops for r in rows_a if r.clients == 1}
+    assert max(one.values()) / min(one.values()) < 1.05, one
+    assert one["sepgc"] == max(one.values())
+
+    # (a) Scaling: at 8 clients the array is bandwidth-bound and ADAPT's
+    # lower WA buys it 1.1-1.6x over the other schemes (paper band).
+    for clients in (4, 8):
+        speedups = adapt_speedup(rows_a, clients)
+        assert all(v >= 0.99 for v in speedups.values()), (clients, speedups)
+    s8 = adapt_speedup(rows_a, 8)
+    assert max(s8.values()) > 1.08, s8
+    assert max(s8.values()) < 2.0, s8
+
+    # Throughput is monotone in clients for every scheme.
+    for scheme in {r.scheme for r in rows_a}:
+        series = sorted((r.clients, r.throughput_kops) for r in rows_a
+                        if r.scheme == scheme)
+        assert all(a[1] <= b[1] + 1e-9 for a, b in zip(series, series[1:]))
+
+    # (b) ADAPT memory sits above SepBIT's but stays modest.
+    sepbit, adapt = rows_b
+    overhead = adapt.overhead_vs(sepbit)
+    assert 0.0 < overhead < 0.35, overhead

@@ -1,0 +1,21 @@
+"""Fig 2 — workload characterisation bench."""
+
+from repro.experiments.fig2 import render_fig2, run_fig2
+
+from benchmarks.conftest import run_once
+
+
+def test_fig2_workload_stats(benchmark, emit):
+    rows = run_once(benchmark, run_fig2)
+    emit("fig2_workload_stats", render_fig2(rows))
+
+    for r in rows:
+        # Observation 1: sparse access density...
+        assert r.frac_below_10_rps > 0.5, r
+        assert r.frac_above_100_rps < 0.3, r
+        # ...and small-write dominance (paper: 69.8-80.9 % <= 8 KiB).
+        assert 0.6 <= r.frac_le_8kib <= 0.9, r
+        assert 0.05 <= r.frac_gt_32kib <= 0.3, r
+    # Tencent carries the fattest large-write tail (Fig 2b).
+    by = {r.profile: r for r in rows}
+    assert by["tencent"].frac_gt_32kib > by["ali"].frac_gt_32kib

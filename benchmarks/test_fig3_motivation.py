@@ -1,0 +1,39 @@
+"""Fig 3 — motivation study bench: padding lives in user-written groups."""
+
+from repro.experiments.fig3 import (
+    gc_group_occupancy_share,
+    render_fig3,
+    run_fig3,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_motivation(benchmark, emit):
+    rows = run_once(benchmark, run_fig3)
+    emit("fig3_motivation", render_fig3(rows))
+
+    # Observation 2: padding concentrates in user/mixed groups and is
+    # near-zero in GC-rewritten groups.
+    gc_rows = [r for r in rows if r.kind == "gc"]
+    user_rows = [r for r in rows if r.kind != "gc"]
+    assert all(r.padding_fraction < 0.10 for r in gc_rows), gc_rows
+    total_user_pad = sum(r.padding_blocks for r in user_rows)
+    total_gc_pad = sum(r.padding_blocks for r in gc_rows)
+    assert total_user_pad > 10 * max(total_gc_pad, 1)
+
+    # SepGC's single user group pads heavily (paper: ~55 % of its writes).
+    sepgc_user = next(r for r in rows
+                      if r.scheme == "sepgc" and r.kind == "user")
+    assert sepgc_user.padding_fraction > 0.25
+
+    # Observation 3: splitting user writes across many groups inflates
+    # padding — WARCIP (5 user groups) pads more than SepGC (1) overall.
+    def scheme_padding(scheme):
+        return sum(r.padding_blocks for r in rows if r.scheme == scheme)
+    assert scheme_padding("warcip") > scheme_padding("sepgc")
+
+    # Observation 4: for the separating schemes, GC groups hold most of
+    # the resident data.
+    for scheme in ("sepgc", "sepbit", "warcip"):
+        assert gc_group_occupancy_share(rows, scheme) > 0.4, scheme

@@ -1,0 +1,34 @@
+"""Fig 9 — padding-traffic CDF bench (reuses the Fig 8 sweep)."""
+
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.experiments.workloads import PROFILES
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_padding_cdf(benchmark, emit):
+    rows = run_once(benchmark, run_fig9)
+    emit("fig9_padding_cdf", render_fig9(rows))
+
+    for victim in ("greedy", "cost-benefit"):
+        for profile in PROFILES:
+            cell = {r.scheme: r for r in rows
+                    if r.victim == victim and r.profile == profile}
+            # ADAPT's mean padding ratio beats every temperature-based
+            # baseline (paper: 40-72.1 % reduction).
+            adapt = cell["adapt"].mean_padding_ratio
+            for baseline in ("dac", "warcip", "mida", "sepbit"):
+                assert adapt <= cell[baseline].mean_padding_ratio + 1e-9, (
+                    victim, profile, baseline)
+            # CDF dominance at the 25 % cut-off (the paper's Ali example:
+            # >=88 % of ADAPT volumes below 25 % padding vs ~70 % SepBIT).
+            assert cell["adapt"].frac_below_25pct >= \
+                cell["sepbit"].frac_below_25pct - 1e-9
+
+    # Reduction magnitude vs SepBIT somewhere in the sweep should reach
+    # the paper's band.
+    greedy_ali = {r.scheme: r for r in rows
+                  if r.victim == "greedy" and r.profile == "ali"}
+    reduction = 1 - greedy_ali["adapt"].mean_padding_ratio / \
+        max(greedy_ali["sepbit"].mean_padding_ratio, 1e-9)
+    assert reduction > 0.2, reduction

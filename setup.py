@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP
+517 editable installs fail with ``invalid command 'bdist_wheel'``; this
+shim enables the legacy path: ``pip install -e . --no-use-pep517``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Analytic models and cross-checks for the simulator.
+
+``wa_model`` implements the classical closed-form write-amplification
+analyses for log-structured stores (greedy and LFS cost-benefit under
+uniform random traffic); tests cross-validate the simulator against them,
+which is the standard way trace-driven GC simulators are sanity-checked in
+the literature the paper builds on (Hu et al. '09; Van Houdt '13/'14).
+"""
+
+from repro.analysis.wa_model import (
+    lfs_wa_uniform,
+    steady_state_utilization,
+    wa_bounds_uniform,
+)
+
+__all__ = ["lfs_wa_uniform", "steady_state_utilization",
+           "wa_bounds_uniform"]

@@ -1,0 +1,150 @@
+"""Chunk-coalescing buffer with the zero-padding SLA.
+
+Every group in the LSS funnels its appended blocks through one open chunk.
+A chunk is flushed to the array either when it fills (``FULL``) or when the
+SLA coalescing window expires (``DEADLINE``, 100 µs in the paper's
+Pangu-derived setting) — in which case the remainder of the chunk is
+zero-padded.  GC-facing groups write in bulk and use ``window_us=None``:
+they never pad on a deadline, matching the paper's Observation 2.
+
+Two window semantics are supported:
+
+* ``"idle"`` (default) — the deadline restarts on every append, i.e. a chunk
+  is padded once the stream to its group pauses for a full window.  This is
+  the semantics consistent with the paper's Fig 11, where traffic denser
+  than the 100 µs window "eliminates zero-padding across all schemes", and
+  with §3.3's resettable "aggregation timer".
+* ``"first"`` — the deadline is fixed at first-append + window (a strict
+  per-block buffering-latency SLA).  Exposed for ablations.
+
+The buffer stores opaque *tokens* (the LSS puts segment-slot handles in
+them) so this module stays independent of the log layer above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.common.errors import ConfigError
+
+
+class FlushReason(Enum):
+    FULL = "full"           # chunk filled; no padding
+    DEADLINE = "deadline"   # SLA expired; zero-padded
+    FORCED = "forced"       # external flush (seal/shutdown); zero-padded
+
+
+@dataclass(frozen=True)
+class ChunkFlush:
+    """One chunk write issued to the array."""
+
+    reason: FlushReason
+    tokens: tuple[Any, ...]
+    data_blocks: int
+    padding_blocks: int
+    time_us: int
+
+    @property
+    def total_blocks(self) -> int:
+        return self.data_blocks + self.padding_blocks
+
+
+class CoalescingBuffer:
+    """Open-chunk accumulator for one group.
+
+    Args:
+        chunk_blocks: chunk capacity in blocks.
+        window_us: SLA coalescing window; ``None`` disables deadline
+            flushes (bulk/GC writers).
+        sla_mode: ``"idle"`` (deadline restarts on each append) or
+            ``"first"`` (deadline fixed at first append).
+    """
+
+    def __init__(self, chunk_blocks: int, window_us: int | None,
+                 sla_mode: str = "idle") -> None:
+        if chunk_blocks < 1:
+            raise ConfigError("chunk_blocks must be >= 1")
+        if window_us is not None and window_us < 0:
+            raise ConfigError("window_us must be >= 0 or None")
+        if sla_mode not in ("idle", "first"):
+            raise ConfigError(f"unknown sla_mode {sla_mode!r}")
+        self.chunk_blocks = chunk_blocks
+        self.window_us = window_us
+        self.sla_mode = sla_mode
+        self._tokens: list[Any] = []
+        self._timer_start_us: int | None = None
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def pending_blocks(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def free_slots(self) -> int:
+        return self.chunk_blocks - len(self._tokens)
+
+    @property
+    def pending_tokens(self) -> tuple[Any, ...]:
+        return tuple(self._tokens)
+
+    @property
+    def deadline_us(self) -> int | None:
+        """Absolute time of the next SLA deadline, or ``None``."""
+        if self.window_us is None or self._timer_start_us is None:
+            return None
+        return self._timer_start_us + self.window_us
+
+    def reset_timer(self, now_us: int) -> None:
+        """Restart the SLA window (used by shadow append, §3.3: the chunk
+        keeps its blocks but gets a fresh aggregation timer)."""
+        if self._tokens:
+            self._timer_start_us = now_us
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def append(self, token: Any, now_us: int) -> ChunkFlush | None:
+        """Add one block; return a ``FULL`` flush if the chunk filled."""
+        if not self._tokens or self.sla_mode == "idle":
+            self._timer_start_us = now_us
+        self._tokens.append(token)
+        if len(self._tokens) >= self.chunk_blocks:
+            return self._emit(FlushReason.FULL, now_us, pad=False)
+        return None
+
+    def poll(self, now_us: int) -> ChunkFlush | None:
+        """Flush with padding if the SLA deadline has passed."""
+        dl = self.deadline_us
+        if dl is not None and now_us >= dl and self._tokens:
+            return self._emit(FlushReason.DEADLINE, now_us, pad=True)
+        return None
+
+    def force_flush(self, now_us: int) -> ChunkFlush | None:
+        """Flush whatever is pending (padded); ``None`` if empty."""
+        if not self._tokens:
+            return None
+        return self._emit(FlushReason.FORCED, now_us, pad=True)
+
+    def take_pending(self) -> tuple[Any, ...]:
+        """Remove and return all pending tokens *without* emitting a flush.
+
+        Used when another group's chunk absorbs these blocks (shadow
+        append); no array I/O happens for this buffer.
+        """
+        tokens = tuple(self._tokens)
+        self._tokens.clear()
+        self._timer_start_us = None
+        return tokens
+
+    def _emit(self, reason: FlushReason, now_us: int, pad: bool) -> ChunkFlush:
+        tokens = tuple(self._tokens)
+        padding = self.chunk_blocks - len(tokens) if pad else 0
+        self._tokens.clear()
+        self._timer_start_us = None
+        return ChunkFlush(reason=reason, tokens=tokens,
+                          data_blocks=len(tokens), padding_blocks=padding,
+                          time_us=now_us)

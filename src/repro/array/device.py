@@ -1,0 +1,89 @@
+"""Bandwidth model of SSD devices and a RAID-5 array of them.
+
+Used by the prototype experiments (§4.4 / Fig 12): throughput there is
+bandwidth-bound, so each device is modelled as a pipe with a sustained write
+bandwidth and a fixed per-I/O latency.  The array serialises chunk writes
+onto the device whose column they map to; simulated time advances to
+whichever column frees up first.  This is intentionally simple — the paper's
+prototype finding is that schemes reducing GC + padding traffic leave more
+device bandwidth to user writes, and that is exactly what a shared-bandwidth
+model expresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import MiB, MICROS_PER_SEC
+from repro.array.raid5 import Raid5Config
+
+
+@dataclass
+class SSDDevice:
+    """One SSD column: sustained write bandwidth + fixed per-I/O latency."""
+
+    write_bw_bytes_per_sec: float = 1000 * MiB
+    io_latency_us: float = 20.0
+    busy_until_us: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.write_bw_bytes_per_sec <= 0:
+            raise ConfigError("device bandwidth must be positive")
+        if self.io_latency_us < 0:
+            raise ConfigError("device latency must be >= 0")
+
+    def service_time_us(self, nbytes: int) -> float:
+        """Time to write ``nbytes`` once the device is free."""
+        return self.io_latency_us + \
+            nbytes / self.write_bw_bytes_per_sec * MICROS_PER_SEC
+
+    def submit(self, nbytes: int, now_us: float) -> float:
+        """Queue a write at ``now_us``; return its completion time."""
+        start = max(now_us, self.busy_until_us)
+        self.busy_until_us = start + self.service_time_us(nbytes)
+        return self.busy_until_us
+
+
+@dataclass
+class Raid5Array:
+    """A RAID-5 set of :class:`SSDDevice` columns with rotating parity.
+
+    ``submit_chunk_write`` places a data chunk on its round-robin column and
+    the stripe's parity chunk on the rotating parity column, returning the
+    completion time of the slower of the two.
+    """
+
+    config: Raid5Config = field(default_factory=Raid5Config)
+    chunk_bytes: int = 64 * 1024
+    device_bw_bytes_per_sec: float = 1000 * MiB
+    device_latency_us: float = 20.0
+
+    def __post_init__(self) -> None:
+        self.devices = [
+            SSDDevice(self.device_bw_bytes_per_sec, self.device_latency_us)
+            for _ in range(self.config.num_devices)
+        ]
+        self._chunk_index = 0
+
+    def submit_chunk_write(self, now_us: float,
+                           with_parity: bool = True) -> float:
+        """Write one chunk (+ its parity) starting at ``now_us``."""
+        n = self.config.num_devices
+        cols = self.config.data_columns
+        stripe, col = divmod(self._chunk_index, cols)
+        parity_dev = stripe % n
+        data_dev = col if col < parity_dev else col + 1
+        self._chunk_index += 1
+        done = self.devices[data_dev].submit(self.chunk_bytes, now_us)
+        if with_parity:
+            pdone = self.devices[parity_dev].submit(self.chunk_bytes, now_us)
+            done = max(done, pdone)
+        return done
+
+    def earliest_free_us(self) -> float:
+        return min(d.busy_until_us for d in self.devices)
+
+    def aggregate_write_bw(self) -> float:
+        """Upper-bound user-visible write bandwidth (data columns only)."""
+        return self.device_bw_bytes_per_sec * self.config.data_columns

@@ -1,0 +1,148 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Examples::
+
+    adapt-repro list
+    adapt-repro fig8 --scale smoke
+    adapt-repro fig11 --scale default
+    adapt-repro replay --scheme adapt --profile ali --volumes 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import scale as scale_mod
+from repro.experiments.report import render_table
+
+
+def _get_scale(name: str):
+    return scale_mod._PRESETS[name]
+
+
+def _cmd_fig2(args) -> str:
+    from repro.experiments.fig2 import render_fig2, run_fig2
+    return render_fig2(run_fig2(_get_scale(args.scale)))
+
+
+def _cmd_fig3(args) -> str:
+    from repro.experiments.fig3 import render_fig3, run_fig3
+    return render_fig3(run_fig3(_get_scale(args.scale)))
+
+
+def _cmd_fig8(args) -> str:
+    from repro.experiments.fig8 import render_fig8, run_fig8
+    return render_fig8(run_fig8(_get_scale(args.scale)))
+
+
+def _cmd_fig9(args) -> str:
+    from repro.experiments.fig9 import render_fig9, run_fig9
+    return render_fig9(run_fig9(_get_scale(args.scale)))
+
+
+def _cmd_fig10(args) -> str:
+    from repro.experiments.fig10 import render_fig10, run_fig10
+    return render_fig10(run_fig10(_get_scale(args.scale)))
+
+
+def _cmd_fig11(args) -> str:
+    from repro.experiments.fig11 import (render_fig11, run_fig11_density,
+                                         run_fig11_skew)
+    s = _get_scale(args.scale)
+    return render_fig11(run_fig11_density(s) + run_fig11_skew(s))
+
+
+def _cmd_fig12(args) -> str:
+    from repro.experiments.fig12 import (render_fig12, run_fig12a,
+                                         run_fig12b)
+    s = _get_scale(args.scale)
+    return render_fig12(run_fig12a(s), run_fig12b(s))
+
+
+def _cmd_ablation(args) -> str:
+    from repro.experiments.ablation import (render_ablation,
+                                            run_mechanism_ablation,
+                                            run_victim_ablation)
+    s = _get_scale(args.scale)
+    return render_ablation(run_mechanism_ablation(s) +
+                           run_victim_ablation(s))
+
+
+def _cmd_multistream(args) -> str:
+    from repro.experiments.multistream import (render_multistream,
+                                               run_multistream)
+    return render_multistream(run_multistream(_get_scale(args.scale)))
+
+
+def _cmd_shared(args) -> str:
+    from repro.experiments.shared_store import (render_shared_store,
+                                                run_shared_store)
+    return render_shared_store(run_shared_store(_get_scale(args.scale)))
+
+
+def _cmd_replay(args) -> str:
+    from repro.experiments.runner import replay_volume
+    from repro.trace.synthetic.cloud import generate_fleet
+    s = _get_scale(args.scale)
+    fleet = generate_fleet(args.profile, args.volumes,
+                           unique_blocks=s.volume_blocks,
+                           num_requests=s.volume_requests, seed=args.seed)
+    rows = []
+    for trace in fleet:
+        r = replay_volume(args.scheme, trace, victim=args.victim,
+                          logical_blocks=s.volume_blocks)
+        rows.append([r.volume, r.write_amplification, r.padding_ratio,
+                     r.gc_ratio])
+    return render_table(["volume", "WA", "padding_ratio", "gc_ratio"],
+                        rows, title=f"{args.scheme} on {args.profile} "
+                                    f"({args.victim})")
+
+
+_FIGS = {
+    "fig2": _cmd_fig2, "fig3": _cmd_fig3, "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9, "fig10": _cmd_fig10, "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12, "ablation": _cmd_ablation,
+    "multistream": _cmd_multistream, "shared-store": _cmd_shared,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="adapt-repro",
+        description="Regenerate the ADAPT (ICPP'25) evaluation figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name in _FIGS:
+        p = sub.add_parser(name, help=f"run the {name} experiment")
+        p.add_argument("--scale", default="smoke",
+                       choices=["smoke", "default", "paper"])
+
+    p = sub.add_parser("replay", help="replay one scheme on a fleet")
+    p.add_argument("--scheme", default="adapt")
+    p.add_argument("--profile", default="ali",
+                   choices=["ali", "tencent", "msrc"])
+    p.add_argument("--victim", default="greedy")
+    p.add_argument("--volumes", type=int, default=2)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "default", "paper"])
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("experiments:", ", ".join(sorted(_FIGS)), "+ replay")
+        return 0
+    if args.command == "replay":
+        print(_cmd_replay(args))
+        return 0
+    print(_FIGS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

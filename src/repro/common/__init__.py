@@ -1,0 +1,28 @@
+"""Shared primitives: units, errors, deterministic RNG helpers."""
+
+from repro.common.errors import ConfigError, ReproError, TraceFormatError
+from repro.common.rng import make_rng, spawn_rngs
+from repro.common.units import (
+    BLOCK_SIZE,
+    GiB,
+    KiB,
+    MiB,
+    MICROS_PER_SEC,
+    blocks_of_bytes,
+    bytes_of_blocks,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "KiB",
+    "MiB",
+    "GiB",
+    "MICROS_PER_SEC",
+    "blocks_of_bytes",
+    "bytes_of_blocks",
+    "make_rng",
+    "spawn_rngs",
+    "ReproError",
+    "ConfigError",
+    "TraceFormatError",
+]

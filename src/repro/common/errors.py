@@ -1,0 +1,23 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class TraceFormatError(ReproError):
+    """Raised when a trace file cannot be parsed."""
+
+
+class CapacityError(ReproError):
+    """Raised when the simulated store runs out of physical space.
+
+    This indicates a configuration problem (over-provisioning too small for
+    the garbage-collection watermarks), never a normal runtime condition.
+    """

@@ -1,0 +1,29 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component takes an explicit seed so that experiments are
+bit-reproducible; independent components derive child generators with
+:func:`spawn_rngs` instead of sharing one stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Passing an existing generator returns it unchanged, which lets helper
+    functions accept either form.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``seed``."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

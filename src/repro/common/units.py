@@ -1,0 +1,37 @@
+"""Size and time units used throughout the simulator.
+
+The paper's configuration (§4.1): 4 KiB logical blocks, 64 KiB array chunks,
+microsecond timestamps, and a 100 µs chunk-coalescing SLA window.
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Minimum unit of a user request in the LSS (paper §4.1).
+BLOCK_SIZE: int = 4 * KiB
+
+#: All simulated timestamps are integers in microseconds.
+MICROS_PER_SEC: int = 1_000_000
+
+
+def blocks_of_bytes(nbytes: int) -> int:
+    """Number of 4 KiB blocks covering ``nbytes`` (round up).
+
+    >>> blocks_of_bytes(1)
+    1
+    >>> blocks_of_bytes(8192)
+    2
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return -(-nbytes // BLOCK_SIZE)
+
+
+def bytes_of_blocks(nblocks: int) -> int:
+    """Byte size of ``nblocks`` 4 KiB blocks."""
+    if nblocks < 0:
+        raise ValueError(f"negative block count: {nblocks}")
+    return nblocks * BLOCK_SIZE

@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Every driver returns plain data (lists of dataclasses / dicts) plus a
+rendered ASCII table, so benchmarks, examples and the CLI share one code
+path.  Scales are selected with the ``REPRO_SCALE`` environment variable
+(``smoke`` / ``default`` / ``paper``).
+"""
+
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.runner import VolumeResult, replay_volume, run_matrix
+
+__all__ = ["Scale", "current_scale", "VolumeResult", "replay_volume",
+           "run_matrix"]

@@ -1,0 +1,60 @@
+"""Machine-readable export of experiment results.
+
+The benchmarks save the human-readable tables; this module serialises the
+underlying rows (any flat dataclass) as JSON or CSV so downstream analysis
+and plotting can consume them without re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def _rowdict(row: Any) -> dict[str, Any]:
+    if dataclasses.is_dataclass(row) and not isinstance(row, type):
+        d = dataclasses.asdict(row)
+    elif isinstance(row, dict):
+        d = dict(row)
+    else:
+        raise TypeError(f"cannot export row of type {type(row).__name__}")
+    # Drop bulky nested fields (per-group breakdowns etc.) from flat
+    # exports; JSON keeps only JSON-able scalars and short sequences.
+    return {k: v for k, v in d.items()
+            if isinstance(v, (int, float, str, bool)) or v is None}
+
+
+def export_json(rows: Sequence[Any], path: str | Path,
+                metadata: dict[str, Any] | None = None) -> None:
+    """Write rows (and optional run metadata) as a JSON document."""
+    doc = {
+        "metadata": metadata or {},
+        "rows": [_rowdict(r) for r in rows],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def export_csv(rows: Sequence[Any], path: str | Path) -> None:
+    """Write rows as CSV (union of keys, stable order)."""
+    dicts = [_rowdict(r) for r in rows]
+    if not dicts:
+        Path(path).write_text("")
+        return
+    fields: list[str] = []
+    for d in dicts:
+        for k in d:
+            if k not in fields:
+                fields.append(k)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(dicts)
+
+
+def load_json(path: str | Path) -> tuple[dict[str, Any], list[dict]]:
+    """Read back an :func:`export_json` document."""
+    doc = json.loads(Path(path).read_text())
+    return doc.get("metadata", {}), doc.get("rows", [])

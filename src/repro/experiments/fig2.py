@@ -1,0 +1,56 @@
+"""Fig 2 — workload characterisation: per-volume request-rate CDF (a) and
+write request-size distribution (b).
+
+Paper reference points: 75–86.1 % of volumes below 10 req/s, 1.9–2.7 %
+above 100 req/s; 69.8–80.9 % of writes <= 8 KiB, 10.8–23.4 % > 32 KiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.report import render_table
+from repro.experiments.scale import Scale, current_scale
+from repro.experiments.workloads import PROFILES, stats_fleet_for
+from repro.trace.stats import compute_stats, write_size_distribution
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    profile: str
+    frac_below_10_rps: float
+    frac_above_100_rps: float
+    frac_le_8kib: float
+    frac_gt_32kib: float
+
+
+def run_fig2(scale: Scale | None = None) -> list[Fig2Row]:
+    scale = scale or current_scale()
+    rows = []
+    for profile in PROFILES:
+        fleet = stats_fleet_for(profile, scale)
+        stats = [compute_stats(t) for t in fleet]
+        rates = np.array([s.avg_request_rate for s in stats])
+        sizes = write_size_distribution(stats)
+        rows.append(Fig2Row(
+            profile=profile,
+            frac_below_10_rps=float(np.mean(rates < 10)),
+            frac_above_100_rps=float(np.mean(rates > 100)),
+            frac_le_8kib=sizes["le_8KiB"],
+            frac_gt_32kib=sizes["gt_32KiB"],
+        ))
+    return rows
+
+
+def render_fig2(rows: list[Fig2Row]) -> str:
+    return render_table(
+        ["profile", "vol<10req/s", "vol>100req/s", "writes<=8KiB",
+         "writes>32KiB"],
+        [[r.profile, r.frac_below_10_rps, r.frac_above_100_rps,
+          r.frac_le_8kib, r.frac_gt_32kib] for r in rows],
+        title="Fig 2 — access density and write-size distribution "
+              "(paper: <10req/s 0.75-0.86, >100req/s 0.019-0.027, "
+              "<=8KiB 0.70-0.81, >32KiB 0.11-0.23)",
+    )

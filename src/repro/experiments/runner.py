@@ -1,0 +1,127 @@
+"""Volume replay runner shared by all figure drivers.
+
+``replay_volume`` runs one (scheme, victim-policy, trace) cell and returns
+a compact :class:`VolumeResult`; ``run_matrix`` sweeps the full cross
+product, optionally across worker processes (per-volume runs are perfectly
+parallel — shared-nothing, merged at the end — though the benchmark
+default stays serial because the reference machine has one core).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.lss.config import LSSConfig, default_segment_blocks
+from repro.lss.store import LogStructuredStore
+from repro.placement.registry import make_policy
+from repro.trace.model import Trace
+
+
+@dataclass(frozen=True)
+class VolumeResult:
+    """Headline metrics of one volume replay."""
+
+    volume: str
+    scheme: str
+    victim: str
+    write_amplification: float
+    padding_ratio: float
+    gc_ratio: float
+    user_blocks: int
+    flash_blocks: int
+    padding_blocks: int
+    gc_blocks: int
+    shadow_blocks: int
+    group_traffic: tuple[dict, ...] = field(default=(), repr=False)
+    group_occupancy: tuple[int, ...] = field(default=(), repr=False)
+    policy_memory_bytes: int = 0
+
+
+def store_config_for(trace_blocks: int, victim: str = "greedy",
+                     seed: int = 0) -> LSSConfig:
+    """The standard experiment store configuration for a volume of
+    ``trace_blocks`` logical blocks."""
+    return LSSConfig(
+        logical_blocks=trace_blocks,
+        segment_blocks=default_segment_blocks(trace_blocks),
+        victim_policy=victim,
+        seed=seed,
+    )
+
+
+def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
+                  logical_blocks: int | None = None,
+                  collect_groups: bool = False,
+                  **policy_kwargs) -> VolumeResult:
+    """Replay one volume under one scheme and victim policy."""
+    blocks = logical_blocks or trace.max_lba() + 1
+    cfg = store_config_for(blocks, victim=victim)
+    policy = make_policy(scheme, cfg, **policy_kwargs)
+    store = LogStructuredStore(cfg, policy)
+    stats = store.replay(trace)
+    groups: tuple[dict, ...] = ()
+    occupancy: tuple[int, ...] = ()
+    if collect_groups:
+        groups = tuple(
+            {"name": g.name, "kind": g.kind, "user": g.user_blocks,
+             "gc": g.gc_blocks, "shadow": g.shadow_blocks,
+             "padding": g.padding_blocks}
+            for g in stats.groups)
+        occupancy = tuple(int(x) for x in store.group_occupancy())
+    return VolumeResult(
+        volume=trace.volume,
+        scheme=scheme,
+        victim=victim,
+        write_amplification=stats.write_amplification(),
+        padding_ratio=stats.padding_traffic_ratio(),
+        gc_ratio=stats.gc_traffic_ratio(),
+        user_blocks=stats.user_blocks_requested,
+        flash_blocks=stats.flash_blocks_written,
+        padding_blocks=stats.padding_blocks_written,
+        gc_blocks=stats.gc_blocks_written,
+        shadow_blocks=stats.shadow_blocks_written,
+        group_traffic=groups,
+        group_occupancy=occupancy,
+        policy_memory_bytes=policy.memory_bytes(),
+    )
+
+
+def _cell(args) -> VolumeResult:
+    scheme, trace, victim, logical_blocks, collect = args
+    return replay_volume(scheme, trace, victim,
+                         logical_blocks=logical_blocks,
+                         collect_groups=collect)
+
+
+def run_matrix(schemes: list[str], traces: list[Trace],
+               victims: list[str] = ("greedy",),
+               logical_blocks: int | None = None,
+               collect_groups: bool = False,
+               workers: int | None = None) -> list[VolumeResult]:
+    """Sweep schemes x victims x traces; return the flat result list.
+
+    ``workers=None`` auto-selects: serial on one core, processes otherwise.
+    """
+    jobs = [(s, t, v, logical_blocks, collect_groups)
+            for v in victims for s in schemes for t in traces]
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+    if workers <= 1 or len(jobs) == 1:
+        return [_cell(j) for j in jobs]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_cell, jobs, chunksize=1))
+
+
+def overall_write_amplification(results: list[VolumeResult]) -> float:
+    """Traffic-weighted WA across volumes (the paper's bar height)."""
+    user = sum(r.user_blocks for r in results)
+    flash = sum(r.flash_blocks for r in results)
+    return flash / user if user else 0.0
+
+
+def overall_padding_ratio(results: list[VolumeResult]) -> float:
+    flash = sum(r.flash_blocks for r in results)
+    pad = sum(r.padding_blocks for r in results)
+    return pad / flash if flash else 0.0

@@ -1,0 +1,23 @@
+"""Log-structured storage simulator.
+
+Segments of fixed size are filled append-only through per-group coalescing
+chunks; garbage collection selects victim segments, migrates their valid
+blocks according to the active placement policy, and reclaims the space.
+All per-block metadata lives in NumPy struct-of-arrays (see DESIGN.md).
+"""
+
+from repro.lss.config import LSSConfig
+from repro.lss.group import GroupKind, GroupSpec
+from repro.lss.stats import StoreStats
+from repro.lss.store import LogStructuredStore
+from repro.lss.victim import available_victim_policies, make_victim_policy
+
+__all__ = [
+    "LSSConfig",
+    "GroupKind",
+    "GroupSpec",
+    "LogStructuredStore",
+    "StoreStats",
+    "available_victim_policies",
+    "make_victim_policy",
+]

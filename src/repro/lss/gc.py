@@ -1,0 +1,76 @@
+"""Garbage-collection engine.
+
+Implements the four-phase process of §2.1: victim selection, validity scan,
+valid-block migration (routed through the placement policy's GC placement),
+and reclamation.  GC runs when the free-segment pool drops to the low
+watermark and cleans until the high watermark is restored.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lss.segment import SEG_SEALED
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lss.store import LogStructuredStore
+
+
+class GarbageCollector:
+    """Watermark-driven cleaner bound to one store."""
+
+    def __init__(self, store: "LogStructuredStore") -> None:
+        self.store = store
+
+    def needed(self) -> bool:
+        return self.store.pool.free_segments <= self.store.config.gc_free_low
+
+    def run(self, now_us: int) -> int:
+        """Clean until the high watermark; return segments reclaimed."""
+        store = self.store
+        pool = store.pool
+        reclaimed = 0
+        while pool.free_segments < store.config.gc_free_high:
+            victim = store.victim_policy.select(pool, store.user_seq)
+            if victim is None:
+                break  # no productive victim; stop rather than spin
+            self.clean_segment(victim, now_us)
+            reclaimed += 1
+        return reclaimed
+
+    def clean_segment(self, victim: int, now_us: int) -> None:
+        """Migrate the victim's valid blocks and reclaim it."""
+        store = self.store
+        pool = store.pool
+        if pool.state[victim] != SEG_SEALED:
+            raise ValueError(f"GC victim {victim} is not sealed")
+        victim_group = int(pool.group[victim])
+
+        lbas = pool.valid_lbas(victim)
+        stats = store.stats
+        stats.gc_passes += 1
+        for lba in lbas:
+            lba = int(lba)
+            dest = store.policy.place_gc(lba, victim_group, now_us)
+            old_loc = store.mapping[lba]
+            # The canonical copy must be the one in the victim; anything
+            # else means mapping and slot bookkeeping diverged.
+            if old_loc // pool.segment_blocks != victim:
+                raise AssertionError(
+                    f"mapping for lba {lba} points outside victim {victim}")
+            new_loc = store.groups[dest].append_gc(lba, now_us)
+            pool.invalidate(old_loc)
+            store.mapping[lba] = new_loc
+            stats.gc_blocks_migrated += 1
+            store.policy.on_gc_block(lba, victim_group, dest)
+
+        store.policy.on_segment_reclaimed(
+            group_id=victim_group,
+            created_seq=int(pool.created_seq[victim]),
+            sealed_seq=int(pool.sealed_seq[victim]),
+            now_seq=store.user_seq,
+            valid_blocks=int(lbas.size),
+        )
+        pool.reclaim(victim)
+        stats.gc_segments_reclaimed += 1
+        store.on_segment_reclaimed_physical(victim)

@@ -1,0 +1,181 @@
+"""Groups: the placement-visible streams of the log.
+
+A group owns one open segment and one open (coalescing) chunk at a time
+(paper §3.1).  User-facing groups flush chunks under the SLA window and pad;
+GC-facing groups write in bulk and only flush full chunks.  Append kinds are
+tracked per block so the per-group traffic breakdown of Fig 3 falls out of
+the accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+from repro.array.coalescing import ChunkFlush, CoalescingBuffer, FlushReason
+from repro.lss.stats import GroupTraffic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lss.store import LogStructuredStore
+
+
+class GroupKind(Enum):
+    USER = "user"   # receives user writes; SLA window applies
+    GC = "gc"       # receives GC rewrites; bulk writes, no SLA padding
+    MIXED = "mixed"  # receives both (DAC/MiDA style); SLA window applies
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Declarative description of one group, provided by the policy."""
+
+    name: str
+    kind: GroupKind
+
+
+# Append kinds for traffic accounting.
+APPEND_USER = 0
+APPEND_GC = 1
+APPEND_SHADOW = 2
+
+
+class Group:
+    """Runtime state of one group inside a store."""
+
+    def __init__(self, gid: int, spec: GroupSpec,
+                 store: "LogStructuredStore") -> None:
+        self.gid = gid
+        self.spec = spec
+        self.store = store
+        cfg = store.config
+        window = (cfg.coalesce_window_us
+                  if spec.kind in (GroupKind.USER, GroupKind.MIXED) else None)
+        self.buffer = CoalescingBuffer(cfg.chunk.chunk_blocks, window,
+                                       sla_mode=cfg.sla_mode)
+        self.open_seg: int | None = None
+        self.traffic = GroupTraffic(name=spec.name, kind=spec.kind.value)
+        #: Tokens at index < _shadow_mark already have substitutes persisted
+        #: elsewhere (cross-group aggregation watermark, §3.3).
+        self._shadow_mark = 0
+        #: Blocks shadow-appended into the current open segment; compared
+        #: against the group's average padding size by the aggregation
+        #: stop-condition (Eq. 1 context).
+        self.segment_shadow_bytes = 0
+
+    # ------------------------------------------------------------------
+    # segment management
+    # ------------------------------------------------------------------
+    def _ensure_open_segment(self) -> int:
+        if self.open_seg is None:
+            self.open_seg = self.store.pool.allocate(self.gid,
+                                                     self.store.user_seq)
+            self.segment_shadow_bytes = 0
+        return self.open_seg
+
+    def _maybe_seal(self) -> None:
+        seg = self.open_seg
+        if seg is not None and \
+                self.store.pool.fill[seg] == self.store.pool.segment_blocks:
+            self.store.pool.seal(seg, self.store.user_seq)
+            self.store.policy.on_segment_sealed(self.gid, seg)
+            self.open_seg = None
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    def append_user(self, lba: int, now_us: int) -> int:
+        return self._append_data(lba, now_us, APPEND_USER)
+
+    def append_gc(self, lba: int, now_us: int) -> int:
+        return self._append_data(lba, now_us, APPEND_GC)
+
+    def append_shadow(self, lba: int, now_us: int) -> None:
+        """Persist a substitute copy of a hot pending block in this group's
+        open chunk (shadow append, §3.3).
+
+        The substitute is accounted as written traffic but its slot is dead
+        on arrival: the canonical copy remains the (pending) original in the
+        hot group, which will be persisted by the lazy append.
+        """
+        seg = self._ensure_open_segment()
+        self.store.pool.append_padding(seg, 1)  # dead slot, real write
+        flush = self.buffer.append((APPEND_SHADOW, lba), now_us)
+        self.segment_shadow_bytes += self.store.config.chunk.block_bytes
+        if flush is not None:
+            self._account_flush(flush)
+        self._maybe_seal()
+
+    def _append_data(self, lba: int, now_us: int, kind: int) -> int:
+        seg = self._ensure_open_segment()
+        loc = self.store.pool.append_block(seg, lba)
+        flush = self.buffer.append((kind, lba), now_us)
+        if flush is not None:
+            self._account_flush(flush)
+        self._maybe_seal()
+        return loc
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def poll_deadline(self, now_us: int) -> ChunkFlush | None:
+        """Emit a padded DEADLINE flush if the SLA window expired."""
+        flush = self.buffer.poll(now_us)
+        if flush is not None:
+            self._pad_segment(flush)
+            self._account_flush(flush)
+            self._maybe_seal()
+        return flush
+
+    def force_flush(self, now_us: int) -> ChunkFlush | None:
+        flush = self.buffer.force_flush(now_us)
+        if flush is not None:
+            self._pad_segment(flush)
+            self._account_flush(flush)
+            self._maybe_seal()
+        return flush
+
+    def _pad_segment(self, flush: ChunkFlush) -> None:
+        if flush.padding_blocks and self.open_seg is not None:
+            self.store.pool.append_padding(self.open_seg,
+                                           flush.padding_blocks)
+
+    def _account_flush(self, flush: ChunkFlush) -> None:
+        t = self.traffic
+        for kind, _lba in flush.tokens:
+            if kind == APPEND_USER:
+                t.user_blocks += 1
+            elif kind == APPEND_GC:
+                t.gc_blocks += 1
+            else:
+                t.shadow_blocks += 1
+        t.padding_blocks += flush.padding_blocks
+        t.chunk_flushes += 1
+        if flush.reason is FlushReason.DEADLINE:
+            t.deadline_flushes += 1
+        elif flush.reason is FlushReason.FORCED:
+            t.forced_flushes += 1
+        self._shadow_mark = 0
+        self.store.on_chunk_flush(self, flush)
+
+    # ------------------------------------------------------------------
+    # cross-group aggregation support
+    # ------------------------------------------------------------------
+    @property
+    def unshadowed_pending(self) -> tuple[tuple[int, int], ...]:
+        """Pending tokens that do not yet have a substitute elsewhere."""
+        return self.buffer.pending_tokens[self._shadow_mark:]
+
+    def mark_all_shadowed(self, now_us: int) -> None:
+        """Record that every pending block now has a substitute, and restart
+        the aggregation timer (the original chunk keeps its blocks)."""
+        self._shadow_mark = self.buffer.pending_blocks
+        self.buffer.reset_timer(now_us)
+
+    def mark_partially_shadowed(self, count: int, now_us: int) -> None:
+        """Advance the shadow watermark by ``count`` pending blocks; if the
+        whole backlog is now substituted, restart the aggregation timer."""
+        self._shadow_mark = min(self._shadow_mark + count,
+                                self.buffer.pending_blocks)
+        if self._shadow_mark == self.buffer.pending_blocks:
+            self.buffer.reset_timer(now_us)

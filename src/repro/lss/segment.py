@@ -1,0 +1,156 @@
+"""Physical segment pool backed by NumPy struct-of-arrays.
+
+Per the HPC guides, no per-block Python objects exist: block ownership and
+validity live in two 2-D arrays indexed ``[segment, slot]``, and per-segment
+metadata in flat arrays.  A *location* is encoded as
+``segment * segment_blocks + slot``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CapacityError
+
+SEG_FREE: int = 0
+SEG_OPEN: int = 1
+SEG_SEALED: int = 2
+
+NO_LBA: int = -1
+
+
+class SegmentPool:
+    """Fixed pool of physical segments with slot-level bookkeeping."""
+
+    def __init__(self, num_segments: int, segment_blocks: int) -> None:
+        if num_segments <= 0 or segment_blocks <= 0:
+            raise ValueError("pool dimensions must be positive")
+        self.num_segments = num_segments
+        self.segment_blocks = segment_blocks
+
+        self.slot_lba = np.full((num_segments, segment_blocks), NO_LBA,
+                                dtype=np.int64)
+        self.slot_valid = np.zeros((num_segments, segment_blocks), dtype=bool)
+        #: Monotone per-slot write stamp — the on-media ordering metadata a
+        #: real LSS persists so crash recovery can replay the log and let
+        #: the newest copy of each LBA win (see ``lss.recovery``).
+        self.slot_seq = np.zeros((num_segments, segment_blocks),
+                                 dtype=np.int64)
+        self._append_seq = 0
+
+        self.state = np.full(num_segments, SEG_FREE, dtype=np.uint8)
+        self.group = np.full(num_segments, -1, dtype=np.int16)
+        self.fill = np.zeros(num_segments, dtype=np.int32)
+        self.valid_count = np.zeros(num_segments, dtype=np.int32)
+        self.created_seq = np.zeros(num_segments, dtype=np.int64)
+        self.sealed_seq = np.zeros(num_segments, dtype=np.int64)
+
+        self._free = list(range(num_segments - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def free_segments(self) -> int:
+        return len(self._free)
+
+    def allocate(self, group: int, now_seq: int) -> int:
+        """Take a free segment, mark it OPEN for ``group``."""
+        if not self._free:
+            raise CapacityError("segment pool exhausted (GC watermarks "
+                                "cannot be honoured)")
+        seg = self._free.pop()
+        self.state[seg] = SEG_OPEN
+        self.group[seg] = group
+        self.fill[seg] = 0
+        self.valid_count[seg] = 0
+        self.created_seq[seg] = now_seq
+        return seg
+
+    def seal(self, seg: int, now_seq: int) -> None:
+        if self.state[seg] != SEG_OPEN:
+            raise ValueError(f"segment {seg} is not open")
+        if self.fill[seg] != self.segment_blocks:
+            raise ValueError(f"segment {seg} sealed before it was full")
+        self.state[seg] = SEG_SEALED
+        self.sealed_seq[seg] = now_seq
+
+    def reclaim(self, seg: int) -> None:
+        """Erase a sealed segment and return it to the free pool."""
+        if self.state[seg] != SEG_SEALED:
+            raise ValueError(f"segment {seg} is not sealed")
+        if self.valid_count[seg] != 0:
+            raise ValueError(
+                f"segment {seg} still holds {self.valid_count[seg]} valid "
+                f"blocks; migrate them before reclaiming")
+        self.slot_lba[seg, :] = NO_LBA
+        self.slot_valid[seg, :] = False
+        self.slot_seq[seg, :] = 0
+        self.state[seg] = SEG_FREE
+        self.group[seg] = -1
+        self.fill[seg] = 0
+        self._free.append(seg)
+
+    # ------------------------------------------------------------------
+    # slot operations
+    # ------------------------------------------------------------------
+    def append_block(self, seg: int, lba: int) -> int:
+        """Place ``lba`` into the next slot of open segment ``seg``;
+        return the encoded location."""
+        slot = int(self.fill[seg])
+        if slot >= self.segment_blocks:
+            raise CapacityError(f"segment {seg} overflow")
+        self.slot_lba[seg, slot] = lba
+        self.slot_valid[seg, slot] = True
+        self._append_seq += 1
+        self.slot_seq[seg, slot] = self._append_seq
+        self.fill[seg] = slot + 1
+        self.valid_count[seg] += 1
+        return seg * self.segment_blocks + slot
+
+    def append_padding(self, seg: int, nblocks: int) -> None:
+        """Consume ``nblocks`` slots with dead zero-padding."""
+        slot = int(self.fill[seg])
+        if slot + nblocks > self.segment_blocks:
+            raise CapacityError(f"segment {seg} padding overflow")
+        # slots keep NO_LBA / invalid: dead on arrival.
+        self.fill[seg] = slot + nblocks
+
+    def invalidate(self, loc: int) -> None:
+        """Mark the block at encoded location ``loc`` invalid."""
+        seg, slot = divmod(loc, self.segment_blocks)
+        if not self.slot_valid[seg, slot]:
+            raise ValueError(f"location {loc} already invalid")
+        self.slot_valid[seg, slot] = False
+        self.valid_count[seg] -= 1
+
+    def location_of(self, seg: int, slot: int) -> int:
+        return seg * self.segment_blocks + slot
+
+    def valid_lbas(self, seg: int) -> np.ndarray:
+        """LBAs of the valid blocks in ``seg`` (in slot order)."""
+        mask = self.slot_valid[seg]
+        return self.slot_lba[seg][mask]
+
+    def sealed_segments(self) -> np.ndarray:
+        return np.flatnonzero(self.state == SEG_SEALED)
+
+    def utilization(self, seg: int) -> float:
+        """Valid fraction of a segment's capacity."""
+        return float(self.valid_count[seg]) / self.segment_blocks
+
+    def check_invariants(self) -> None:
+        """Expensive consistency check used by tests and property-based
+        testing; never called in hot paths."""
+        for seg in range(self.num_segments):
+            vc = int(np.count_nonzero(self.slot_valid[seg]))
+            if vc != int(self.valid_count[seg]):
+                raise AssertionError(
+                    f"segment {seg}: cached valid_count {self.valid_count[seg]}"
+                    f" != actual {vc}")
+            if self.state[seg] == SEG_FREE:
+                if vc != 0 or self.fill[seg] != 0:
+                    raise AssertionError(f"free segment {seg} not empty")
+            if np.any(self.slot_valid[seg, self.fill[seg]:]):
+                raise AssertionError(
+                    f"segment {seg}: valid slot beyond fill pointer")

@@ -1,0 +1,196 @@
+"""The log-structured store: ties groups, segment pool, GC and placement
+together and replays traces.
+
+The store is placement-agnostic: any object implementing the
+:class:`repro.placement.base.PlacementPolicy` protocol can drive it, which
+is how the five baselines and ADAPT share one simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.lss.config import LSSConfig
+from repro.lss.gc import GarbageCollector
+from repro.lss.group import Group, GroupKind
+from repro.lss.segment import SegmentPool
+from repro.lss.stats import StoreStats
+from repro.lss.victim import make_victim_policy
+from repro.trace.model import OP_WRITE, Trace
+
+#: Encoded-mapping value for "never written".
+UNMAPPED: int = -1
+
+
+class LogStructuredStore:
+    """One simulated LSS volume on an SSD array.
+
+    Args:
+        config: store geometry and GC knobs.
+        policy: a placement policy instance (not yet bound to a store).
+    """
+
+    def __init__(self, config: LSSConfig, policy) -> None:
+        self.config = config
+        self.policy = policy
+
+        specs = policy.group_specs()
+        if not specs:
+            raise ConfigError("placement policy declared no groups")
+        config.validate_for_groups(len(specs))
+
+        self.pool = SegmentPool(config.physical_segments,
+                                config.segment_blocks)
+        self.mapping = np.full(config.logical_blocks, UNMAPPED,
+                               dtype=np.int64)
+        self.stats = StoreStats()
+        self.groups: list[Group] = []
+        for gid, spec in enumerate(specs):
+            group = Group(gid, spec, self)
+            self.groups.append(group)
+            self.stats.groups.append(group.traffic)
+        self._sla_groups = [g for g in self.groups
+                            if g.spec.kind in (GroupKind.USER,
+                                               GroupKind.MIXED)]
+
+        self.victim_policy = make_victim_policy(config.victim_policy,
+                                                rng=config.seed)
+        self.gc = GarbageCollector(self)
+
+        #: Logical clock: number of user block writes accepted so far.
+        self.user_seq = 0
+        self.now_us = 0
+        #: Optional observers of physical events (e.g. the FTL bridge):
+        #: called as fn(group, flush, device_lba_start) and fn(segment).
+        self.flush_listeners: list = []
+        self.reclaim_listeners: list = []
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # request processing
+    # ------------------------------------------------------------------
+    def process_request(self, ts_us: int, op: int, offset: int,
+                        size: int) -> None:
+        """Apply one trace request (``size`` blocks starting at ``offset``)."""
+        self.tick(ts_us)
+        if op != OP_WRITE:
+            self.stats.read_requests += 1
+            return
+        self.stats.write_requests += 1
+        end = offset + size
+        if offset < 0 or end > self.config.logical_blocks:
+            raise ValueError(
+                f"request [{offset}, {end}) outside logical space "
+                f"[0, {self.config.logical_blocks})")
+        for lba in range(offset, end):
+            self.write_block(lba, ts_us)
+
+    def write_block(self, lba: int, now_us: int) -> None:
+        """Append one user block write for ``lba``."""
+        old = self.mapping[lba]
+        if old != UNMAPPED:
+            self.pool.invalidate(int(old))
+        gid = self.policy.place_user(lba, now_us)
+        loc = self.groups[gid].append_user(lba, now_us)
+        self.mapping[lba] = loc
+        self.user_seq += 1
+        self.stats.user_blocks_requested += 1
+        if self.gc.needed():
+            self.gc.run(now_us)
+
+    def read_block(self, lba: int) -> bool:
+        """Return whether ``lba`` has ever been written (reads do not touch
+        the log; they only matter for workload realism)."""
+        return bool(self.mapping[lba] != UNMAPPED)
+
+    def tick(self, now_us: int) -> None:
+        """Advance simulated time: fire SLA deadline flushes that are due.
+
+        The placement policy gets a chance to avert each padding flush
+        (ADAPT's cross-group aggregation hooks in here, §3.3).
+        """
+        self.now_us = now_us
+        for group in self._sla_groups:
+            if group.buffer.pending_blocks == 0:
+                continue
+            deadline = group.buffer.deadline_us
+            if deadline is None or now_us < deadline:
+                continue
+            if self.policy.before_padding_flush(group, now_us):
+                continue  # policy persisted the data another way
+            group.poll_deadline(now_us)
+
+    # ------------------------------------------------------------------
+    # replay and finalisation
+    # ------------------------------------------------------------------
+    def replay(self, trace: Trace, finalize: bool = True) -> StoreStats:
+        """Replay a whole trace and return the stats object."""
+        ts, ops = trace.timestamps, trace.ops
+        offs, szs = trace.offsets, trace.sizes
+        for i in range(len(trace)):
+            self.process_request(int(ts[i]), int(ops[i]), int(offs[i]),
+                                 int(szs[i]))
+        if finalize:
+            self.finalize()
+        return self.stats
+
+    def finalize(self) -> None:
+        """Flush every pending chunk (padded) at end of run."""
+        now = self.now_us + self.config.coalesce_window_us
+        for group in self.groups:
+            group.force_flush(now)
+
+    # ------------------------------------------------------------------
+    # hooks and introspection
+    # ------------------------------------------------------------------
+    def on_chunk_flush(self, group: Group, flush) -> None:
+        """Account a chunk write against the RAID layer and inform the
+        placement policy (ADAPT's write monitors hang off this)."""
+        self.stats.raid.add_chunks(1)
+        self.policy.on_chunk_flush(group, flush)
+        if self.flush_listeners:
+            # Flush accounting runs before sealing, so the open segment is
+            # the one this chunk wrote into, and its fill pointer already
+            # covers the chunk's data + padding slots.
+            seg = group.open_seg
+            start = seg * self.config.segment_blocks \
+                + int(self.pool.fill[seg]) - flush.total_blocks
+            for fn in self.flush_listeners:
+                fn(group, flush, start)
+
+    def on_segment_reclaimed_physical(self, seg: int) -> None:
+        """GC erased physical segment ``seg`` (FTL bridges trim on this)."""
+        for fn in self.reclaim_listeners:
+            fn(seg)
+
+    def group_occupancy(self) -> np.ndarray:
+        """Blocks currently resident per group, counting sealed + open
+        segments (Fig 3b's group-size distribution)."""
+        occ = np.zeros(len(self.groups), dtype=np.int64)
+        pool = self.pool
+        for seg in range(pool.num_segments):
+            g = int(pool.group[seg])
+            if g >= 0:
+                occ[g] += int(pool.valid_count[seg])
+        return occ
+
+    def check_invariants(self) -> None:
+        """Cross-structure consistency (tests only): every mapped LBA points
+        at a valid slot holding that LBA, and valid slot count matches the
+        number of mapped LBAs."""
+        self.pool.check_invariants()
+        mapped = np.flatnonzero(self.mapping != UNMAPPED)
+        for lba in mapped:
+            loc = int(self.mapping[lba])
+            seg, slot = divmod(loc, self.pool.segment_blocks)
+            if not self.pool.slot_valid[seg, slot]:
+                raise AssertionError(f"lba {lba} maps to invalid slot {loc}")
+            if self.pool.slot_lba[seg, slot] != lba:
+                raise AssertionError(
+                    f"lba {lba} maps to slot holding "
+                    f"{self.pool.slot_lba[seg, slot]}")
+        total_valid = int(self.pool.valid_count.sum())
+        if total_valid != mapped.size:
+            raise AssertionError(
+                f"{total_valid} valid slots but {mapped.size} mapped LBAs")

@@ -1,0 +1,26 @@
+"""Data-placement policies: the five baselines of §4.1 plus the registry.
+
+ADAPT itself lives in :mod:`repro.core` and registers here.
+"""
+
+from repro.placement.base import PlacementPolicy
+from repro.placement.registry import available_policies, make_policy, register
+from repro.placement.sepgc import SepGCPolicy
+from repro.placement.dac import DACPolicy
+from repro.placement.warcip import WarcipPolicy
+from repro.placement.mida import MiDAPolicy
+from repro.placement.sepbit import SepBITPolicy
+from repro.placement.midas import MidasLitePolicy
+
+__all__ = [
+    "PlacementPolicy",
+    "available_policies",
+    "make_policy",
+    "register",
+    "SepGCPolicy",
+    "DACPolicy",
+    "WarcipPolicy",
+    "MiDAPolicy",
+    "SepBITPolicy",
+    "MidasLitePolicy",
+]

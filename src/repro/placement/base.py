@@ -1,0 +1,94 @@
+"""Placement-policy protocol shared by the baselines and ADAPT.
+
+A policy declares its groups, routes every user block write and every GC
+migration to a group, and may hook segment lifecycle events.  Policies hold
+their own per-LBA metadata in NumPy arrays (never per-block objects) and
+report its footprint through :meth:`memory_bytes` for the Fig 12b
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.lss.config import LSSConfig
+from repro.lss.group import Group, GroupSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lss.store import LogStructuredStore
+
+
+class PlacementPolicy:
+    """Base class for placement policies.
+
+    Lifecycle: construct with the store config, pass to
+    :class:`~repro.lss.store.LogStructuredStore`, which calls :meth:`bind`.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self, config: LSSConfig) -> None:
+        self.config = config
+        self.store: "LogStructuredStore | None" = None
+
+    # ------------------------------------------------------------------
+    # required interface
+    # ------------------------------------------------------------------
+    def group_specs(self) -> Sequence[GroupSpec]:
+        """Declare the groups this policy writes to (fixed for the run)."""
+        raise NotImplementedError
+
+    def place_user(self, lba: int, now_us: int) -> int:
+        """Route one user block write; return a group id.
+
+        Called *before* the block is appended; implementations typically
+        read their per-LBA metadata, decide, then update it.
+        """
+        raise NotImplementedError
+
+    def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
+        """Route one GC-migrated valid block; return a group id."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # optional hooks
+    # ------------------------------------------------------------------
+    def bind(self, store: "LogStructuredStore") -> None:
+        self.store = store
+
+    def before_padding_flush(self, group: Group, now_us: int) -> bool:
+        """Last chance to avert an SLA padding flush for ``group``.
+
+        Return ``True`` if the policy persisted the pending data some other
+        way (ADAPT's cross-group aggregation); ``False`` lets the store pad.
+        """
+        return False
+
+    def on_segment_sealed(self, group_id: int, seg: int) -> None:
+        """A segment of ``group_id`` filled up and became immutable."""
+
+    def on_chunk_flush(self, group: Group, flush) -> None:
+        """A chunk of ``group`` was written to the array."""
+
+    def on_segment_reclaimed(self, group_id: int, created_seq: int,
+                             sealed_seq: int, now_seq: int,
+                             valid_blocks: int) -> None:
+        """GC reclaimed a segment of ``group_id``."""
+
+    def on_gc_block(self, lba: int, from_group: int, to_group: int) -> None:
+        """GC migrated ``lba`` between groups."""
+
+    def memory_bytes(self) -> int:
+        """Approximate resident metadata footprint of this policy."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def user_seq(self) -> int:
+        """The store's logical clock (user blocks written so far)."""
+        if self.store is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to a store")
+        return self.store.user_seq

@@ -1,0 +1,49 @@
+"""Name-based registry of placement policies.
+
+Keeps experiment code declarative: ``make_policy("sepbit", cfg)``.  ADAPT
+registers itself here when :mod:`repro.core` is imported; the registry
+imports it lazily so ``repro.placement`` has no dependency on the core
+package.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.lss.config import LSSConfig
+from repro.placement.base import PlacementPolicy
+
+_REGISTRY: dict[str, Callable[..., PlacementPolicy]] = {}
+
+#: Policy names whose classes live outside repro.placement; imported on
+#: first use.
+_LAZY_MODULES = {"adapt": "repro.core.policy"}
+
+
+def register(name: str,
+             factory: Callable[..., PlacementPolicy]) -> None:
+    """Register a policy factory under ``name`` (idempotent re-register of
+    the same factory is allowed; clobbering a different one is an error)."""
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"policy name {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_policies() -> list[str]:
+    """All known policy names (including lazily loaded ones)."""
+    return sorted(set(_REGISTRY) | set(_LAZY_MODULES))
+
+
+def make_policy(name: str, config: LSSConfig, **kwargs) -> PlacementPolicy:
+    """Instantiate a placement policy by registry name."""
+    if name not in _REGISTRY and name in _LAZY_MODULES:
+        importlib.import_module(_LAZY_MODULES[name])
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; available: "
+            f"{available_policies()}") from None
+    return factory(config, **kwargs)

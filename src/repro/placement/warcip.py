@@ -1,0 +1,76 @@
+"""WARCIP [Yang et al. '19]: write-amplification reduction by clustering
+I/O pages on their rewrite intervals.
+
+Each block's observed rewrite interval (user-write logical clock) is
+assigned to the nearest of k online cluster centroids in log2 space; the
+centroid is nudged toward the sample (online k-means).  The paper's
+configuration is five user-written clusters plus one GC-rewritten group
+(§4.1).  Blocks with no history go to the coldest cluster.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.lss.config import LSSConfig
+from repro.lss.group import GroupKind, GroupSpec
+from repro.placement.base import PlacementPolicy
+from repro.placement.registry import register
+
+
+class WarcipPolicy(PlacementPolicy):
+    """k rewrite-interval clusters (user writes) + 1 GC group."""
+
+    name = "warcip"
+
+    def __init__(self, config: LSSConfig, num_clusters: int = 5,
+                 learning_rate: float = 0.05) -> None:
+        super().__init__(config)
+        if num_clusters < 2:
+            raise ValueError("WARCIP needs at least 2 clusters")
+        if not 0 < learning_rate <= 1:
+            raise ValueError("learning_rate must be in (0, 1]")
+        self.num_clusters = num_clusters
+        self.learning_rate = learning_rate
+        self._last_write = np.full(config.logical_blocks, -1, dtype=np.int64)
+        # Centroids in log2(interval) space, spread over a plausible range:
+        # one segment up to the whole logical space.
+        lo = math.log2(max(config.segment_blocks, 2))
+        hi = math.log2(max(config.logical_blocks * 4, 4))
+        self._centroids = np.linspace(lo, hi, num_clusters)
+
+    def group_specs(self) -> list[GroupSpec]:
+        specs = [GroupSpec(f"cluster-{i}", GroupKind.USER)
+                 for i in range(self.num_clusters)]
+        specs.append(GroupSpec("gc", GroupKind.GC))
+        return specs
+
+    @property
+    def gc_group(self) -> int:
+        return self.num_clusters
+
+    def place_user(self, lba: int, now_us: int) -> int:
+        now = self.user_seq
+        last = int(self._last_write[lba])
+        self._last_write[lba] = now
+        if last < 0:
+            return self.num_clusters - 1  # no history: coldest cluster
+        interval = math.log2(max(now - last, 1))
+        cluster = int(np.argmin(np.abs(self._centroids - interval)))
+        # Online k-means update keeps centroids tracking the workload.
+        self._centroids[cluster] += \
+            self.learning_rate * (interval - self._centroids[cluster])
+        # Keep centroids ordered so cluster index keeps its hot->cold sense.
+        self._centroids.sort()
+        return cluster
+
+    def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
+        return self.gc_group
+
+    def memory_bytes(self) -> int:
+        return self._last_write.nbytes + self._centroids.nbytes
+
+
+register(WarcipPolicy.name, WarcipPolicy)

@@ -1,0 +1,19 @@
+"""Simulated-time prototype (§4.4): throughput under client scaling and
+metadata memory accounting, on a RAID-5 bandwidth model."""
+
+from repro.prototype.engine import (
+    PrototypeConfig,
+    PrototypeResult,
+    run_prototype,
+    run_client_sweep,
+)
+from repro.prototype.memory import MemoryReport, measure_memory
+
+__all__ = [
+    "PrototypeConfig",
+    "PrototypeResult",
+    "run_prototype",
+    "run_client_sweep",
+    "MemoryReport",
+    "measure_memory",
+]

@@ -1,0 +1,132 @@
+"""Closed-loop latency simulation for the prototype (§4.4 extension).
+
+Fig 12a reports throughput; operators also care about tail latency, and
+the same bandwidth story applies: every amplified byte (GC, padding,
+parity) queues in front of user writes.  This module runs a small
+discrete-event simulation over the :class:`~repro.array.device.Raid5Array`
+model:
+
+* ``clients × iodepth`` user-op slots run closed-loop;
+* consecutive user ops aggregate into chunks (full chunk or SLA timeout);
+* each user chunk also enqueues the scheme's amplification surplus
+  (``WA − 1`` in chunk-equivalents, plus parity per the RAID accounting)
+  as background device work;
+* an op's latency is the interval from its submission to the completion
+  of the chunk write that persisted it.
+
+The simulation consumes the scheme's measured WA/parity from the same
+traffic profile as the throughput model, so both views stay consistent.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.array.device import Raid5Array
+from repro.common.errors import ConfigError
+from repro.prototype.engine import (
+    LOOKUP_COST_US,
+    PrototypeConfig,
+    _traffic_profile,
+)
+
+
+@dataclass(frozen=True)
+class LatencyResult:
+    """Latency distribution of one (scheme, clients) simulation."""
+
+    scheme: str
+    clients: int
+    ops_completed: int
+    mean_us: float
+    p50_us: float
+    p99_us: float
+    max_us: float
+
+
+def simulate_latency(scheme: str, clients: int,
+                     cfg: PrototypeConfig | None = None,
+                     num_ops: int = 20_000,
+                     _profile_cache: dict | None = None) -> LatencyResult:
+    """Run the closed-loop latency simulation."""
+    if clients < 1:
+        raise ConfigError("clients must be >= 1")
+    if num_ops < 100:
+        raise ConfigError("need at least 100 ops for stable percentiles")
+    cfg = cfg or PrototypeConfig()
+
+    if _profile_cache is not None and scheme in _profile_cache:
+        wa, parity, _ = _profile_cache[scheme]
+    else:
+        wa, parity, _ = _traffic_profile(scheme, cfg)
+        if _profile_cache is not None:
+            _profile_cache[scheme] = (wa, parity, None)
+
+    chunk_blocks = 16
+    lookup = LOOKUP_COST_US.get(scheme, 1.0)
+    issue_gap = cfg.device_latency_us / cfg.iodepth + lookup
+    sla_us = 100.0
+
+    array = Raid5Array(cfg.raid, chunk_bytes=chunk_blocks * 4096,
+                       device_bw_bytes_per_sec=cfg.device_bw_bytes_per_sec,
+                       device_latency_us=cfg.device_latency_us)
+    # Background device work per user chunk: amplification surplus in
+    # chunk-equivalents (parity is handled inside submit_chunk_write).
+    surplus_per_chunk = max(wa - 1.0, 0.0)
+
+    # Event queue of (time, slot); each slot is a client×iodepth lane that
+    # re-issues an op `issue_gap` after its previous op persisted.
+    slots = clients * cfg.iodepth
+    events = [(i * (issue_gap / max(slots, 1)), i) for i in range(slots)]
+    heapq.heapify(events)
+
+    latencies: list[float] = []
+    pending: list[float] = []      # submit times in the open chunk
+    chunk_deadline = np.inf
+    surplus_owed = 0.0
+
+    def flush_chunk(now: float) -> float:
+        nonlocal pending, chunk_deadline, surplus_owed
+        done = array.submit_chunk_write(now)
+        surplus_owed += surplus_per_chunk
+        while surplus_owed >= 1.0:
+            array.submit_chunk_write(now)  # background amplification
+            surplus_owed -= 1.0
+        for t in pending:
+            latencies.append(done - t)
+        pending = []
+        chunk_deadline = np.inf
+        return done
+
+    completed = 0
+    while completed < num_ops and events:
+        now, slot = heapq.heappop(events)
+        if now >= chunk_deadline and pending:
+            flush_chunk(chunk_deadline)
+        pending.append(now)
+        if len(pending) == 1:
+            chunk_deadline = now + sla_us
+        if len(pending) >= chunk_blocks:
+            done = flush_chunk(now)
+        else:
+            # The op persists no later than the SLA flush; model the lane
+            # as blocked until the earliest possible persistence.
+            done = min(chunk_deadline,
+                       now + array.devices[0].service_time_us(4096))
+        completed += 1
+        heapq.heappush(events, (done + issue_gap, slot))
+    if pending:
+        flush_chunk(chunk_deadline if chunk_deadline != np.inf
+                    else events[0][0] if events else 0.0)
+
+    lat = np.array(latencies)
+    return LatencyResult(
+        scheme=scheme, clients=clients, ops_completed=int(lat.size),
+        mean_us=float(lat.mean()) if lat.size else 0.0,
+        p50_us=float(np.percentile(lat, 50)) if lat.size else 0.0,
+        p99_us=float(np.percentile(lat, 99)) if lat.size else 0.0,
+        max_us=float(lat.max()) if lat.size else 0.0,
+    )

@@ -1,0 +1,6 @@
+"""Block-level I/O trace model, parsers, statistics and synthetic generators."""
+
+from repro.trace.model import OP_READ, OP_WRITE, Trace
+from repro.trace.stats import TraceStats, compute_stats
+
+__all__ = ["Trace", "OP_READ", "OP_WRITE", "TraceStats", "compute_stats"]

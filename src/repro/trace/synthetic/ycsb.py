@@ -1,0 +1,142 @@
+"""YCSB-A-style workload generator (update-heavy, Zipfian popularity).
+
+Reproduces the paper's qualitative sensitivity setup (§4.3): fill a block
+population, then issue update-heavy traffic whose two experimental knobs are
+*access density* (inter-request gap relative to the 100 µs coalescing SLA)
+and *skewness* (Zipf alpha).  YCSB-A is 50 % reads / 50 % updates; only the
+updates reach the log, so a ``read_ratio`` knob is exposed as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.common.rng import make_rng
+from repro.trace.model import OP_READ, OP_WRITE, Trace
+from repro.trace.synthetic.arrivals import uniform_arrivals
+from repro.trace.synthetic.zipf import ZipfSampler
+
+
+class DensityPreset(Enum):
+    """Traffic-intensity presets from Fig 11 (left).
+
+    ``LIGHT`` keeps every inter-request gap above the 100 µs SLA window so
+    chunks cannot coalesce across requests; ``MEDIUM`` and ``HEAVY`` fall
+    below it, ``HEAVY`` densely enough that padding disappears entirely.
+    """
+
+    LIGHT = 250.0    # µs between requests (> 100 µs SLA)
+    MEDIUM = 60.0
+    HEAVY = 8.0
+
+    @property
+    def inter_arrival_us(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    """Full knob set for :func:`generate`. ``generate_ycsb_a`` wraps the
+    common case."""
+
+    unique_blocks: int
+    num_writes: int
+    zipf_alpha: float = 0.99
+    read_ratio: float = 0.5
+    inter_arrival_us: float = DensityPreset.MEDIUM.inter_arrival_us
+    write_size_blocks: int = 1
+    include_fill: bool = True
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.unique_blocks <= 0:
+            raise ValueError("unique_blocks must be positive")
+        if self.num_writes < 0:
+            raise ValueError("num_writes must be >= 0")
+        if not 0.0 <= self.read_ratio < 1.0:
+            raise ValueError("read_ratio must be in [0, 1)")
+        if self.write_size_blocks < 1:
+            raise ValueError("write_size_blocks must be >= 1")
+
+
+def generate(config: YcsbConfig) -> Trace:
+    """Generate a YCSB-style trace from an explicit :class:`YcsbConfig`."""
+    rng = make_rng(config.seed)
+    parts: list[Trace] = []
+    t0 = 0
+
+    if config.include_fill:
+        # Sequential fill of the whole population: dense multi-block writes
+        # (the paper fills 1M blocks before measuring WA over 10M writes).
+        fill = _sequential_fill(config.unique_blocks, start_us=0)
+        parts.append(fill)
+        t0 = int(fill.timestamps[-1]) + 1_000 if len(fill) else 0
+
+    n_writes = config.num_writes
+    n_reads = int(n_writes * config.read_ratio / (1.0 - config.read_ratio))
+    n_total = n_writes + n_reads
+
+    sampler = ZipfSampler(config.unique_blocks, config.zipf_alpha, rng=rng)
+    lbas = sampler.sample(n_total) * config.write_size_blocks
+    # Clamp multi-block updates inside the address space.
+    max_start = config.unique_blocks * config.write_size_blocks \
+        - config.write_size_blocks
+    np.clip(lbas, 0, max(max_start, 0), out=lbas)
+
+    ops = np.full(n_total, OP_WRITE, dtype=np.uint8)
+    if n_reads:
+        read_idx = rng.choice(n_total, size=n_reads, replace=False)
+        ops[read_idx] = OP_READ
+
+    ts = t0 + uniform_arrivals(n_total, config.inter_arrival_us,
+                               rng=rng, jitter=0.5)
+    sizes = np.full(n_total, config.write_size_blocks, dtype=np.int64)
+    parts.append(Trace(ts, ops, lbas, sizes, volume="ycsb-a"))
+    return Trace.concat(parts, volume="ycsb-a").validate()
+
+
+def generate_ycsb_a(unique_blocks: int, num_writes: int,
+                    zipf_alpha: float = 0.99,
+                    density: DensityPreset | float = DensityPreset.MEDIUM,
+                    read_ratio: float = 0.5,
+                    include_fill: bool = True,
+                    seed: int | None = None) -> Trace:
+    """Generate a YCSB-A trace (50 % updates by default).
+
+    Args:
+        unique_blocks: block population size (1 M in the paper; scaled
+            presets are used by the benches).
+        num_writes: number of update requests after the fill phase.
+        zipf_alpha: popularity skew; 0 = uniform, 0.99 = YCSB default.
+        density: a :class:`DensityPreset` or an explicit mean inter-arrival
+            gap in microseconds.
+        read_ratio: fraction of requests that are reads.
+        include_fill: prepend the sequential fill phase.
+        seed: RNG seed for reproducibility.
+    """
+    gap = density.inter_arrival_us if isinstance(density, DensityPreset) \
+        else float(density)
+    return generate(YcsbConfig(
+        unique_blocks=unique_blocks,
+        num_writes=num_writes,
+        zipf_alpha=zipf_alpha,
+        read_ratio=read_ratio,
+        inter_arrival_us=gap,
+        include_fill=include_fill,
+        seed=seed,
+    ))
+
+
+def _sequential_fill(unique_blocks: int, start_us: int,
+                     request_blocks: int = 64) -> Trace:
+    """Dense sequential writes covering ``[0, unique_blocks)`` once."""
+    n_req = -(-unique_blocks // request_blocks)
+    offsets = np.arange(n_req, dtype=np.int64) * request_blocks
+    sizes = np.full(n_req, request_blocks, dtype=np.int64)
+    sizes[-1] = unique_blocks - offsets[-1]
+    ts = start_us + np.arange(n_req, dtype=np.int64) * 10  # dense: 10 µs gaps
+    ops = np.full(n_req, OP_WRITE, dtype=np.uint8)
+    return Trace(ts, ops, offsets, sizes, volume="fill")

@@ -1,0 +1,26 @@
+"""Writers for the native CSV trace format (round-trips with the parser)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO
+
+from repro.common.units import BLOCK_SIZE
+from repro.trace.model import OP_WRITE, Trace
+
+_HEADER = "timestamp_us,op,offset_bytes,size_bytes\n"
+
+
+def write_csv(trace: Trace, dest: str | Path | IO[str], header: bool = True) -> None:
+    """Serialise ``trace`` to the native CSV format (byte offsets/sizes)."""
+    if isinstance(dest, (str, Path)):
+        with open(dest, "w") as fh:
+            write_csv(trace, fh, header=header)
+        return
+    if header:
+        dest.write(_HEADER)
+    ts, ops, off, sz = trace.timestamps, trace.ops, trace.offsets, trace.sizes
+    for i in range(len(trace)):
+        op = "W" if ops[i] == OP_WRITE else "R"
+        dest.write(
+            f"{ts[i]},{op},{off[i] * BLOCK_SIZE},{sz[i] * BLOCK_SIZE}\n")

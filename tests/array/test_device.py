@@ -1,0 +1,69 @@
+"""SSD bandwidth device model."""
+
+import pytest
+
+from repro.array.device import Raid5Array, SSDDevice
+from repro.array.raid5 import Raid5Config
+from repro.common.errors import ConfigError
+from repro.common.units import MiB
+
+
+def test_service_time_includes_latency_and_transfer():
+    dev = SSDDevice(write_bw_bytes_per_sec=1 * MiB, io_latency_us=10)
+    # 1 MiB at 1 MiB/s = 1 s = 1e6 us, plus 10 us latency.
+    assert abs(dev.service_time_us(1 * MiB) - 1_000_010) < 1
+
+
+def test_submit_serialises_on_busy_device():
+    dev = SSDDevice(write_bw_bytes_per_sec=1 * MiB, io_latency_us=0)
+    first = dev.submit(1 * MiB, now_us=0)
+    second = dev.submit(1 * MiB, now_us=0)
+    assert second == pytest.approx(first + 1_000_000)
+
+
+def test_submit_idle_device_starts_at_now():
+    dev = SSDDevice(write_bw_bytes_per_sec=1 * MiB, io_latency_us=0)
+    done = dev.submit(1 * MiB, now_us=500)
+    assert done == pytest.approx(500 + 1_000_000)
+
+
+def test_device_validation():
+    with pytest.raises(ConfigError):
+        SSDDevice(write_bw_bytes_per_sec=0)
+    with pytest.raises(ConfigError):
+        SSDDevice(io_latency_us=-1)
+
+
+def test_array_rotates_columns():
+    arr = Raid5Array(Raid5Config(4), chunk_bytes=64 * 1024,
+                     device_bw_bytes_per_sec=100 * MiB, device_latency_us=0)
+    for _ in range(6):
+        arr.submit_chunk_write(0.0)
+    # 6 data chunks over 3 data columns: each device gets some work.
+    busy = [d.busy_until_us for d in arr.devices]
+    assert all(b > 0 for b in busy)
+
+
+def test_array_parity_slows_completion():
+    cfg = dict(chunk_bytes=64 * 1024, device_bw_bytes_per_sec=100 * MiB,
+               device_latency_us=0)
+    with_p = Raid5Array(Raid5Config(4), **cfg)
+    without = Raid5Array(Raid5Config(4), **cfg)
+    t_with = max(with_p.submit_chunk_write(0.0, with_parity=True)
+                 for _ in range(12))
+    t_without = max(without.submit_chunk_write(0.0, with_parity=False)
+                    for _ in range(12))
+    assert t_with >= t_without
+
+
+def test_aggregate_bandwidth_counts_data_columns():
+    arr = Raid5Array(Raid5Config(4), device_bw_bytes_per_sec=100 * MiB)
+    assert arr.aggregate_write_bw() == 300 * MiB
+
+
+def test_earliest_free():
+    arr = Raid5Array(Raid5Config(4), device_bw_bytes_per_sec=100 * MiB,
+                     device_latency_us=0)
+    assert arr.earliest_free_us() == 0.0
+    arr.submit_chunk_write(0.0)
+    assert arr.earliest_free_us() == 0.0  # two devices still idle

@@ -1,0 +1,35 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_is_deterministic():
+    a = make_rng(123).random(8)
+    b = make_rng(123).random(8)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_passes_through_generator():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_spawn_rngs_are_independent():
+    rngs = spawn_rngs(42, 3)
+    draws = [r.random(16) for r in rngs]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_rngs_reproducible():
+    a = [r.random(4).tolist() for r in spawn_rngs(5, 2)]
+    b = [r.random(4).tolist() for r in spawn_rngs(5, 2)]
+    assert a == b
+
+
+def test_spawn_rngs_rejects_negative_count():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)

@@ -1,0 +1,38 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.common.units import (
+    BLOCK_SIZE,
+    GiB,
+    KiB,
+    MiB,
+    blocks_of_bytes,
+    bytes_of_blocks,
+)
+
+
+def test_size_constants_are_consistent():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+    assert BLOCK_SIZE == 4 * KiB
+
+
+def test_blocks_of_bytes_rounds_up():
+    assert blocks_of_bytes(0) == 0
+    assert blocks_of_bytes(1) == 1
+    assert blocks_of_bytes(BLOCK_SIZE) == 1
+    assert blocks_of_bytes(BLOCK_SIZE + 1) == 2
+    assert blocks_of_bytes(10 * BLOCK_SIZE) == 10
+
+
+def test_bytes_of_blocks_inverse_on_aligned_sizes():
+    for n in (0, 1, 7, 1024):
+        assert blocks_of_bytes(bytes_of_blocks(n)) == n
+
+
+@pytest.mark.parametrize("func", [blocks_of_bytes, bytes_of_blocks])
+def test_negative_inputs_rejected(func):
+    with pytest.raises(ValueError):
+        func(-1)

@@ -1,0 +1,97 @@
+"""Bloom filters and the cascaded RA discriminator."""
+
+import pytest
+
+from repro.core.bloom import BloomFilter, CascadedDiscriminator
+
+
+def test_bloom_no_false_negatives():
+    bf = BloomFilter(capacity=500, fp_rate=0.01)
+    keys = list(range(0, 5000, 10))
+    for k in keys:
+        bf.add(k)
+    assert all(k in bf for k in keys)
+
+
+def test_bloom_false_positive_rate_is_bounded():
+    bf = BloomFilter(capacity=1000, fp_rate=0.01)
+    for k in range(1000):
+        bf.add(k)
+    fps = sum(1 for k in range(10_000, 30_000) if k in bf)
+    assert fps / 20_000 < 0.05  # generous bound over the 1 % design target
+
+
+def test_bloom_sizing_follows_fp_rate():
+    loose = BloomFilter(1000, 0.1)
+    tight = BloomFilter(1000, 0.001)
+    assert tight.num_bits > loose.num_bits
+    assert tight.memory_bytes() > loose.memory_bytes()
+
+
+def test_bloom_is_full():
+    bf = BloomFilter(capacity=3)
+    for k in range(3):
+        assert not bf.is_full
+        bf.add(k)
+    assert bf.is_full
+
+
+def test_bloom_validation():
+    with pytest.raises(ValueError):
+        BloomFilter(0)
+    with pytest.raises(ValueError):
+        BloomFilter(10, fp_rate=1.5)
+
+
+def test_cascade_score_counts_filters():
+    d = CascadedDiscriminator(num_filters=4, capacity=2)
+    d.insert(1)          # filter A
+    d.insert(2)          # filter A full
+    d.insert(1)          # filter B
+    assert d.score(1) == 2
+    assert d.score(2) == 1
+    assert d.score(99) == 0
+
+
+def test_cascade_fifo_eviction():
+    d = CascadedDiscriminator(num_filters=2, capacity=1)
+    d.insert(1)   # filter 1
+    d.insert(2)   # filter 2
+    d.insert(3)   # filter 3, evicts filter 1
+    assert d.evictions == 1
+    assert d.score(1) == 0
+    assert d.score(2) == 1
+    assert d.score(3) == 1
+
+
+def test_cascade_exact_and_bloom_modes_agree_on_members():
+    exact = CascadedDiscriminator(4, 64, use_bloom=False)
+    bloom = CascadedDiscriminator(4, 64, use_bloom=True)
+    for k in range(200):
+        exact.insert(k)
+        bloom.insert(k)
+    for k in range(0, 200, 7):
+        # Bloom mode may only over-count (false positives), never under.
+        assert bloom.score(k) >= exact.score(k)
+        assert exact.score(k) >= 1
+
+
+def test_cascade_memory_accounting_is_bloom_budget():
+    exact = CascadedDiscriminator(4, 1024, use_bloom=False)
+    bloom = CascadedDiscriminator(4, 1024, use_bloom=True)
+    for k in range(3000):
+        exact.insert(k)
+        bloom.insert(k)
+    assert exact.memory_bytes() == bloom.memory_bytes()
+
+
+def test_cascade_maybe_member():
+    d = CascadedDiscriminator(2, 8)
+    d.insert(5)
+    assert d.maybe_member(5)
+    assert not d.maybe_member(6)
+
+
+def test_cascade_validation():
+    with pytest.raises(ValueError):
+        CascadedDiscriminator(num_filters=0)

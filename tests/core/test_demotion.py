@@ -1,0 +1,56 @@
+"""Proactive demotion placement."""
+
+import pytest
+
+from repro.core.demotion import ProactiveDemotion
+
+
+def test_same_group_gc_migrations_build_score():
+    d = ProactiveDemotion([2, 3, 4, 5], score_threshold=2,
+                          num_filters=4, capacity=2)
+    assert d.demotion_target(7) is None
+    d.on_gc_block(7, from_group=3, to_group=3)
+    assert d.demotion_target(7) is None      # score 1 < threshold
+    d.on_gc_block(99, from_group=3, to_group=3)  # fills filter 1
+    d.on_gc_block(7, from_group=3, to_group=3)   # filter 2
+    assert d.demotion_target(7) == 3
+    assert d.demotions == 1
+
+
+def test_cross_group_migrations_ignored():
+    d = ProactiveDemotion([2, 3], score_threshold=1, capacity=4)
+    d.on_gc_block(7, from_group=2, to_group=3)
+    assert d.demotion_target(7) is None
+
+
+def test_non_gc_groups_ignored():
+    d = ProactiveDemotion([2, 3], score_threshold=1, capacity=4)
+    d.on_gc_block(7, from_group=0, to_group=0)  # user group
+    assert d.demotion_target(7) is None
+
+
+def test_best_scoring_group_wins():
+    d = ProactiveDemotion([2, 3], score_threshold=1, capacity=1)
+    d.on_gc_block(7, 2, 2)
+    d.on_gc_block(7, 3, 3)
+    d.on_gc_block(7, 3, 3)  # group 3 scores 2, group 2 scores 1
+    assert d.demotion_target(7) == 3
+
+
+def test_lookup_counter():
+    d = ProactiveDemotion([2], score_threshold=1)
+    d.demotion_target(1)
+    d.demotion_target(2)
+    assert d.lookups == 2
+
+
+def test_memory_accounting():
+    d = ProactiveDemotion([2, 3], capacity=1024)
+    assert d.memory_bytes() > 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ProactiveDemotion([])
+    with pytest.raises(ValueError):
+        ProactiveDemotion([1], score_threshold=0)

@@ -1,0 +1,81 @@
+"""Reuse-interval tracker vs a naive reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import DistanceTracker
+
+
+def naive_distance(history: list[int], key: int) -> int | None:
+    """Unique other keys since `key`'s previous access, or None."""
+    if key not in history:
+        return None
+    last = len(history) - 1 - history[::-1].index(key)
+    return len(set(history[last + 1:]))
+
+
+def test_first_access_returns_none():
+    t = DistanceTracker()
+    assert t.access(5) is None
+
+
+def test_immediate_reaccess_distance_zero():
+    t = DistanceTracker()
+    t.access(5)
+    assert t.access(5) == 0
+
+
+def test_simple_sequence():
+    t = DistanceTracker()
+    # a b c a : distance of second 'a' is 2 (b, c intervene)
+    t.access(1); t.access(2); t.access(3)
+    assert t.access(1) == 2
+
+
+def test_duplicates_counted_once():
+    t = DistanceTracker()
+    # a b b b a : only one distinct intervening key
+    t.access(1)
+    t.access(2); t.access(2); t.access(2)
+    assert t.access(1) == 1
+
+
+def test_matches_naive_reference_on_random_stream():
+    rng = np.random.default_rng(0)
+    stream = rng.integers(0, 50, size=2000).tolist()
+    t = DistanceTracker()
+    history: list[int] = []
+    for key in stream:
+        expected = naive_distance(history, key)
+        assert t.access(key) == expected
+        history.append(key)
+    t.check_invariants()
+
+
+def test_evict_forgets_key():
+    t = DistanceTracker()
+    t.access(1)
+    t.access(2)
+    t.evict(1)
+    assert t.access(1) is None
+    t.check_invariants()
+
+
+def test_evict_unknown_key_is_noop():
+    t = DistanceTracker()
+    t.evict(42)
+    t.check_invariants()
+
+
+def test_len_counts_distinct_keys():
+    t = DistanceTracker()
+    for k in (1, 2, 2, 3):
+        t.access(k)
+    assert len(t) == 3
+
+
+def test_memory_accounting_uses_papers_44_bytes():
+    t = DistanceTracker()
+    for k in range(10):
+        t.access(k)
+    assert t.memory_bytes() == 440

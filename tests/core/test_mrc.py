@@ -1,0 +1,92 @@
+"""SHARDS-based miss-ratio curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.mrc import MrcBuilder, build_mrc
+from repro.trace.synthetic.ycsb import generate_ycsb_a
+from repro.trace.synthetic.zipf import ZipfSampler
+
+from tests.conftest import make_write_trace
+
+
+def exact_mrc_point(stream, cache_size):
+    """Reference LRU simulation: exact miss ratio for one cache size."""
+    cache: dict[int, None] = {}
+    misses = 0
+    for key in stream:
+        if key in cache:
+            cache.pop(key)
+        else:
+            misses += 1
+            if len(cache) >= cache_size:
+                cache.pop(next(iter(cache)))
+        cache[key] = None
+    return misses / len(stream)
+
+
+def test_mrc_monotone_decreasing():
+    trace = generate_ycsb_a(2048, 20_000, seed=1, read_ratio=0.0,
+                            include_fill=False)
+    mrc = build_mrc(trace, sample_rate=0.5)
+    assert np.all(np.diff(mrc.miss_ratios) <= 1e-12)
+    assert 0.0 <= mrc.miss_ratios[-1] <= mrc.miss_ratios[0] <= 1.0
+
+
+def test_mrc_matches_exact_lru_at_full_sampling():
+    rng = np.random.default_rng(2)
+    stream = ZipfSampler(500, 0.9, rng=rng).sample(30_000).tolist()
+    trace = make_write_trace(stream)
+    mrc = build_mrc(trace, sample_rate=1.0, num_points=128)
+    for cache in (50, 200, 400):
+        approx = mrc.miss_ratio_at(cache)
+        exact = exact_mrc_point(stream, cache)
+        assert abs(approx - exact) < 0.05, (cache, approx, exact)
+
+
+def test_mrc_sampled_approximates_full():
+    rng = np.random.default_rng(3)
+    stream = ZipfSampler(2000, 0.9, rng=rng).sample(60_000).tolist()
+    trace = make_write_trace(stream)
+    full = build_mrc(trace, sample_rate=1.0)
+    sampled = build_mrc(trace, sample_rate=0.2)
+    for cache in (200, 800, 1600):
+        assert abs(full.miss_ratio_at(cache) -
+                   sampled.miss_ratio_at(cache)) < 0.08, cache
+
+
+def test_working_set_estimate():
+    # Uniform accesses over 300 blocks: ~zero misses need cache >= 300.
+    rng = np.random.default_rng(4)
+    stream = rng.integers(0, 300, size=30_000).tolist()
+    mrc = build_mrc(make_write_trace(stream), sample_rate=1.0,
+                    num_points=200)
+    ws = mrc.working_set_blocks(target_miss_ratio=0.05)
+    assert 200 <= ws <= 330
+
+
+def test_empty_and_tiny_inputs():
+    mrc = MrcBuilder(sample_rate=0.5).build()
+    assert mrc.miss_ratio_at(100) == 1.0
+    assert mrc.working_set_blocks() == 0
+
+    b = MrcBuilder(sample_rate=1.0)
+    b.access(1)
+    curve = b.build()
+    assert curve.sampled_accesses == 1
+    assert curve.miss_ratios[0] == 1.0  # one cold miss
+
+
+def test_writes_only_filter():
+    trace = generate_ycsb_a(512, 4000, seed=5, read_ratio=0.5,
+                            include_fill=False)
+    b_all = MrcBuilder(sample_rate=1.0)
+    b_all.feed_trace(trace, writes_only=False)
+    b_w = MrcBuilder(sample_rate=1.0)
+    b_w.feed_trace(trace, writes_only=True)
+    assert b_w._total < b_all._total
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MrcBuilder(num_points=1)

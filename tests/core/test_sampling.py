@@ -1,0 +1,50 @@
+"""SHARDS-style spatial sampler."""
+
+import pytest
+
+from repro.core.sampling import SpatialSampler
+
+
+def test_rate_is_approximately_honoured():
+    s = SpatialSampler(0.1)
+    hits = sum(1 for lba in range(100_000) if s.is_sampled(lba))
+    assert 0.08 < hits / 100_000 < 0.12
+
+
+def test_sampling_is_deterministic_per_lba():
+    s = SpatialSampler(0.3, salt=5)
+    picks = [s.is_sampled(lba) for lba in range(100)]
+    assert picks == [s.is_sampled(lba) for lba in range(100)]
+
+
+def test_spatial_property_all_accesses_of_a_block_agree():
+    """The SHARDS property: a block is either always or never sampled."""
+    s = SpatialSampler(0.05)
+    sampled = {lba for lba in range(1000) if s.is_sampled(lba)}
+    for _ in range(3):
+        assert {lba for lba in range(1000) if s.is_sampled(lba)} == sampled
+
+
+def test_salt_changes_selection():
+    a = SpatialSampler(0.2, salt=1)
+    b = SpatialSampler(0.2, salt=2)
+    pa = {lba for lba in range(2000) if a.is_sampled(lba)}
+    pb = {lba for lba in range(2000) if b.is_sampled(lba)}
+    assert pa != pb
+
+
+def test_rate_one_samples_everything():
+    s = SpatialSampler(1.0)
+    assert all(s.is_sampled(lba) for lba in range(1000))
+
+
+def test_effective_rate_close_to_requested():
+    s = SpatialSampler(0.001)
+    assert abs(s.effective_rate - 0.001) < 1e-4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SpatialSampler(0.0)
+    with pytest.raises(ValueError):
+        SpatialSampler(1.5)

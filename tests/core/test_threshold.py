@@ -1,0 +1,104 @@
+"""Threshold ladder: grids, adaptation, persistence."""
+
+import pytest
+
+from repro.core.threshold import ThresholdLadder, _is_monotone
+
+
+def make_ladder(n=5):
+    return ThresholdLadder(num_sets=n, segment_blocks=8, chunk_blocks=4,
+                           window_us=100, garbage_limit=0.25)
+
+
+def test_initial_grid_is_exponential():
+    ladder = make_ladder(5)
+    ts = [g.threshold for g in ladder.ghost_sets]
+    ratios = [b / a for a, b in zip(ts, ts[1:])]
+    assert all(abs(r - 2.0) < 1e-9 for r in ratios)
+    assert ladder.mode == "exponential"
+
+
+def test_record_feeds_all_sets():
+    ladder = make_ladder()
+    ladder.record(1, 2.0, 0)
+    assert all(g.blocks_written == 1 for g in ladder.ghost_sets)
+    assert ladder.sampled_blocks_written() == 1
+
+
+def test_adapt_switches_to_linear_around_interior_best():
+    ladder = make_ladder(5)
+    # Fabricate costs: interior set 2 is best, non-monotone.
+    for i, g in enumerate(ladder.ghost_sets):
+        g.blocks_written = 100
+        g.blocks_discarded = [50, 30, 10, 30, 50][i]
+    result = ladder.adapt()
+    assert result.mode == "linear"
+    ts = [g.threshold for g in ladder.ghost_sets]
+    diffs = [b - a for a, b in zip(ts, ts[1:])]
+    assert max(diffs) - min(diffs) < 1e-6  # evenly spaced
+
+
+def test_adapt_reexpands_on_edge_best():
+    ladder = make_ladder(5)
+    for i, g in enumerate(ladder.ghost_sets):
+        g.blocks_written = 100
+        g.blocks_discarded = [10, 20, 30, 40, 50][i]  # monotone: edge best
+    result = ladder.adapt()
+    assert result.mode == "exponential"
+    assert result.best_threshold == min(result.thresholds)
+
+
+def test_adapt_reuses_unchanged_ghost_sets():
+    ladder = make_ladder(5)
+    for g in ladder.ghost_sets:
+        g.blocks_written = 10
+        g.blocks_discarded = 1
+    before = {round(g.threshold, 3): g for g in ladder.ghost_sets}
+    ladder.adapt()
+    reused = sum(1 for g in ladder.ghost_sets
+                 if before.get(round(g.threshold, 3)) is g)
+    assert reused >= 1  # at least the re-centred best value carries over
+
+
+def test_ready_requires_majority_warm():
+    ladder = make_ladder(4)
+    assert not ladder.ready()
+    for g in ladder.ghost_sets[:2]:
+        g.gc_passes = 5
+    assert ladder.ready()
+
+
+def test_cost_spread():
+    ladder = make_ladder(3)
+    for g, cost in zip(ladder.ghost_sets, (10, 10, 10)):
+        g.blocks_written = 100
+        g.blocks_discarded = cost
+    assert ladder.cost_spread() == pytest.approx(0.0)
+    ladder.ghost_sets[0].blocks_discarded = 30
+    assert ladder.cost_spread() > 0.5
+
+
+def test_padding_fraction():
+    ladder = make_ladder(3)
+    for g in ladder.ghost_sets:
+        g.blocks_written = 100
+        g.padding_blocks = 25
+    assert ladder.padding_fraction() == pytest.approx(0.25)
+
+
+def test_memory_accounting():
+    ladder = make_ladder(3)
+    ladder.record(1, 1.0, 0)
+    assert ladder.memory_bytes() > 0
+
+
+def test_is_monotone_helper():
+    assert _is_monotone([1, 2, 3])
+    assert _is_monotone([3, 2, 1])
+    assert _is_monotone([1, 1, 1])
+    assert not _is_monotone([1, 3, 2])
+
+
+def test_ladder_validation():
+    with pytest.raises(ValueError):
+        ThresholdLadder(1, 8, 4, 100, 0.25)

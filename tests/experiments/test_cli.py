@@ -1,0 +1,35 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig8" in out and "replay" in out
+
+
+def test_parser_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig8", "--scale", "huge"])
+
+
+def test_replay_command(capsys):
+    assert main(["replay", "--scheme", "sepgc", "--profile", "ali",
+                 "--volumes", "1", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "sepgc on ali" in out
+    assert "ali-000" in out
+
+
+def test_fig2_command(capsys):
+    assert main(["fig2", "--scale", "smoke"]) == 0
+    assert "Fig 2" in capsys.readouterr().out
+
+
+def test_extension_commands_listed(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "multistream" in out and "shared-store" in out

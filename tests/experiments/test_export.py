@@ -1,0 +1,73 @@
+"""JSON/CSV result export."""
+
+import csv
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.export import export_csv, export_json, load_json
+
+
+@dataclass(frozen=True)
+class Row:
+    scheme: str
+    wa: float
+    volumes: int
+    nested: tuple = ()
+
+
+ROWS = [Row("adapt", 2.5, 5), Row("sepgc", 3.1, 5)]
+
+
+def test_json_roundtrip(tmp_path):
+    p = tmp_path / "out.json"
+    export_json(ROWS, p, metadata={"scale": "smoke"})
+    meta, rows = load_json(p)
+    assert meta == {"scale": "smoke"}
+    assert rows == [
+        {"scheme": "adapt", "wa": 2.5, "volumes": 5},
+        {"scheme": "sepgc", "wa": 3.1, "volumes": 5},
+    ]
+
+
+def test_nested_fields_dropped(tmp_path):
+    p = tmp_path / "out.json"
+    export_json([Row("x", 1.0, 1, nested=(1, 2))], p)
+    _, rows = load_json(p)
+    assert "nested" not in rows[0]
+
+
+def test_csv_export(tmp_path):
+    p = tmp_path / "out.csv"
+    export_csv(ROWS, p)
+    with open(p) as fh:
+        got = list(csv.DictReader(fh))
+    assert got[0]["scheme"] == "adapt"
+    assert float(got[1]["wa"]) == 3.1
+
+
+def test_csv_empty(tmp_path):
+    p = tmp_path / "empty.csv"
+    export_csv([], p)
+    assert p.read_text() == ""
+
+
+def test_dict_rows_and_type_errors(tmp_path):
+    p = tmp_path / "d.json"
+    export_json([{"a": 1}], p)
+    _, rows = load_json(p)
+    assert rows == [{"a": 1}]
+    with pytest.raises(TypeError):
+        export_json([42], p)
+
+
+def test_export_real_experiment_rows(tmp_path):
+    from repro.experiments.fig2 import run_fig2
+    from repro.experiments.scale import SMOKE
+    rows = run_fig2(SMOKE)
+    p = tmp_path / "fig2.json"
+    export_json(rows, p, metadata={"figure": "fig2"})
+    meta, got = load_json(p)
+    assert meta["figure"] == "fig2"
+    assert len(got) == 3
+    assert {"ali", "tencent", "msrc"} == {r["profile"] for r in got}

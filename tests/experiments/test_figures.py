@@ -1,0 +1,90 @@
+"""Figure drivers at smoke scale (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.experiments.scale import SMOKE
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return SMOKE
+
+
+def test_fig2_driver(smoke):
+    from repro.experiments.fig2 import render_fig2, run_fig2
+    rows = run_fig2(smoke)
+    assert {r.profile for r in rows} == {"ali", "tencent", "msrc"}
+    text = render_fig2(rows)
+    assert "Fig 2" in text and "tencent" in text
+
+
+def test_fig3_driver(smoke):
+    from repro.experiments.fig3 import render_fig3, run_fig3
+    rows = run_fig3(smoke, schemes=("sepgc",))
+    assert len(rows) == 2  # sepgc: user + gc groups
+    occ = sum(r.occupancy_fraction for r in rows)
+    assert occ == pytest.approx(1.0)
+    assert "sepgc" in render_fig3(rows)
+
+
+def test_fig8_driver_and_cache(smoke):
+    from repro.experiments.fig8 import run_fig8, sweep
+    first = sweep(smoke)
+    second = sweep(smoke)
+    assert len(first) == len(second)  # cached, consistent
+    rows = run_fig8(smoke)
+    # 2 victims x 3 profiles x 6 schemes
+    assert len(rows) == 36
+    assert all(r.overall_wa >= 1.0 for r in rows)
+
+
+def test_fig9_driver(smoke):
+    from repro.experiments.fig9 import run_fig9
+    rows = run_fig9(smoke)
+    assert len(rows) == 36
+    for r in rows:
+        assert r.frac_below_10pct <= r.frac_below_25pct \
+            <= r.frac_below_50pct
+
+
+def test_fig10_driver(smoke):
+    from repro.experiments.fig10 import correlation, run_fig10
+    points = run_fig10(smoke)  # pooled: 2 baselines x 3 profiles x volumes
+    assert len(points) == 2 * 3 * smoke.num_volumes
+    assert -1.0 <= correlation(points) <= 1.0
+    ali_only = run_fig10(smoke, profile="ali")
+    assert len(ali_only) == 2 * smoke.num_volumes
+
+
+def test_fig11_density_driver(smoke):
+    from repro.experiments.fig11 import run_fig11_density
+    points = run_fig11_density(smoke, schemes=("sepgc", "adapt"))
+    assert len(points) == 6
+    settings = {p.setting for p in points}
+    assert settings == {"LIGHT", "MEDIUM", "HEAVY"}
+
+
+def test_fig11_skew_driver(smoke):
+    from repro.experiments.fig11 import run_fig11_skew
+    points = run_fig11_skew(smoke, schemes=("sepgc",), alphas=(0.0, 0.9))
+    assert len(points) == 2
+
+
+def test_fig12_driver(smoke):
+    from repro.experiments.fig12 import (adapt_speedup, run_fig12a,
+                                         run_fig12b)
+    rows_a = run_fig12a(smoke, schemes=("sepgc", "adapt"))
+    assert len(rows_a) == 6  # 2 schemes x 3 client counts
+    s = adapt_speedup(rows_a, 8)
+    assert "sepgc" in s
+    rows_b = run_fig12b(smoke)
+    assert rows_b[0].scheme == "sepbit" and rows_b[1].scheme == "adapt"
+
+
+def test_ablation_driver(smoke):
+    from repro.experiments.ablation import (run_mechanism_ablation,
+                                            run_victim_ablation)
+    mech = run_mechanism_ablation(smoke)
+    assert {r.variant for r in mech} >= {"full", "substrate-only"}
+    vict = run_victim_ablation(smoke)
+    assert len(vict) == 5

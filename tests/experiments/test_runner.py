@@ -1,0 +1,72 @@
+"""Volume runner and aggregation."""
+
+import pytest
+
+from repro.experiments.runner import (
+    overall_padding_ratio,
+    overall_write_amplification,
+    replay_volume,
+    run_matrix,
+    store_config_for,
+)
+from repro.trace.synthetic.ycsb import generate_ycsb_a
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_ycsb_a(4096, 10_000, seed=5, read_ratio=0.0,
+                           density=50.0)
+
+
+def test_replay_volume_fields(small_trace):
+    r = replay_volume("sepgc", small_trace, logical_blocks=4096)
+    assert r.scheme == "sepgc"
+    assert r.victim == "greedy"
+    assert r.write_amplification >= 1.0
+    assert 0 <= r.padding_ratio <= 1
+    assert r.user_blocks == 14096  # fill + updates
+    assert r.flash_blocks >= r.user_blocks
+
+
+def test_replay_volume_collect_groups(small_trace):
+    r = replay_volume("sepbit", small_trace, logical_blocks=4096,
+                      collect_groups=True)
+    assert len(r.group_traffic) == 6
+    assert sum(r.group_occupancy) > 0
+
+
+def test_run_matrix_cross_product(small_trace):
+    results = run_matrix(["sepgc", "sepbit"], [small_trace],
+                         victims=["greedy", "cost-benefit"],
+                         logical_blocks=4096, workers=1)
+    assert len(results) == 4
+    assert {(r.scheme, r.victim) for r in results} == {
+        ("sepgc", "greedy"), ("sepbit", "greedy"),
+        ("sepgc", "cost-benefit"), ("sepbit", "cost-benefit")}
+
+
+def test_overall_aggregates(small_trace):
+    results = run_matrix(["sepgc"], [small_trace], logical_blocks=4096,
+                         workers=1)
+    wa = overall_write_amplification(results)
+    assert wa == pytest.approx(results[0].write_amplification)
+    assert 0 <= overall_padding_ratio(results) <= 1
+
+
+def test_overall_empty():
+    assert overall_write_amplification([]) == 0.0
+    assert overall_padding_ratio([]) == 0.0
+
+
+def test_store_config_for_scales_segment():
+    small = store_config_for(4096)
+    big = store_config_for(262_144)
+    assert small.segment_blocks <= big.segment_blocks
+    assert big.segment_blocks == 256
+
+
+def test_replay_deterministic(small_trace):
+    a = replay_volume("adapt", small_trace, logical_blocks=4096)
+    b = replay_volume("adapt", small_trace, logical_blocks=4096)
+    assert a.write_amplification == b.write_amplification
+    assert a.flash_blocks == b.flash_blocks

@@ -1,0 +1,25 @@
+"""Scale presets and environment selection."""
+
+import pytest
+
+from repro.experiments.scale import DEFAULT, PAPER, SMOKE, current_scale
+
+
+def test_presets_are_ordered():
+    assert SMOKE.num_volumes < DEFAULT.num_volumes < PAPER.num_volumes
+    assert SMOKE.ycsb_writes < DEFAULT.ycsb_writes < PAPER.ycsb_writes
+
+
+def test_env_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    assert current_scale() is SMOKE
+    monkeypatch.setenv("REPRO_SCALE", "PAPER")
+    assert current_scale() is PAPER
+    monkeypatch.delenv("REPRO_SCALE")
+    assert current_scale() is DEFAULT
+
+
+def test_unknown_scale_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "galactic")
+    with pytest.raises(ValueError):
+        current_scale()

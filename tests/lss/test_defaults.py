@@ -1,0 +1,54 @@
+"""Edge cases: default segment sizing and policy-base errors."""
+
+import pytest
+
+from repro.core.config import AdaptConfig
+from repro.core.policy import AdaptPolicy
+from repro.lss.config import default_segment_blocks
+from repro.placement.base import PlacementPolicy
+from repro.placement.sepgc import SepGCPolicy
+
+
+def test_default_segment_blocks_bounds():
+    # Tiny volumes get the floor (2 chunks), huge ones the 256 cap.
+    assert default_segment_blocks(1_000) == 32
+    assert default_segment_blocks(1_000_000) == 256
+    # Mid-size volumes scale ~1/128 and stay chunk-aligned.
+    mid = default_segment_blocks(20_000)
+    assert mid % 16 == 0
+    assert 32 <= mid <= 256
+
+
+def test_default_segment_blocks_chunk_alignment():
+    for logical in (5_000, 17_000, 33_000, 100_000):
+        assert default_segment_blocks(logical, chunk_blocks=16) % 16 == 0
+        assert default_segment_blocks(logical, chunk_blocks=8) % 8 == 0
+
+
+def test_unbound_policy_user_seq_raises(small_config):
+    pol = SepGCPolicy(small_config)
+    with pytest.raises(RuntimeError):
+        _ = pol.user_seq
+
+
+def test_base_policy_abstract_methods(small_config):
+    base = PlacementPolicy(small_config)
+    with pytest.raises(NotImplementedError):
+        base.group_specs()
+    with pytest.raises(NotImplementedError):
+        base.place_user(0, 0)
+    with pytest.raises(NotImplementedError):
+        base.place_gc(0, 0, 0)
+    assert base.memory_bytes() == 0
+
+
+def test_adapt_custom_gc_group_count(small_config):
+    pol = AdaptPolicy(small_config, adapt=AdaptConfig(num_gc_groups=2))
+    specs = pol.group_specs()
+    assert len(specs) == 4  # 2 user + 2 gc
+    # The age ladder must stay within the declared groups.
+    from repro.lss.store import LogStructuredStore
+    store = LogStructuredStore(small_config, pol)
+    store.process_request(0, 1, 5, 1)
+    store.user_seq = 10 ** 9
+    assert pol.place_gc(5, 0, 0) == AdaptPolicy.GC_BASE + 1

@@ -1,0 +1,94 @@
+"""Group behaviour: sealing, shadow appends, accounting."""
+
+import pytest
+
+from repro.lss.group import APPEND_SHADOW, APPEND_USER
+from repro.lss.store import LogStructuredStore
+from repro.placement.sepgc import SepGCPolicy
+
+
+@pytest.fixture
+def store(tiny_config):
+    return LogStructuredStore(tiny_config, SepGCPolicy(tiny_config))
+
+
+def test_group_seals_when_segment_full(store, tiny_config):
+    g = store.groups[0]
+    for i in range(tiny_config.segment_blocks):
+        g.append_user(i, now_us=i)
+    # Segment filled by FULL chunk flushes and was sealed.
+    assert g.open_seg is None
+    assert len(store.pool.sealed_segments()) == 1
+
+
+def test_padding_advances_fill_to_chunk_boundary(store, tiny_config):
+    g = store.groups[0]
+    g.append_user(0, now_us=0)
+    flush = g.poll_deadline(now_us=10_000)
+    assert flush is not None
+    chunk = tiny_config.chunk.chunk_blocks
+    assert store.pool.fill[g.open_seg] == chunk
+
+
+def test_shadow_append_creates_dead_slot(store):
+    g = store.groups[0]
+    g.append_shadow(lba=7, now_us=0)
+    seg = g.open_seg
+    assert store.pool.fill[seg] == 1
+    assert store.pool.valid_count[seg] == 0
+    assert g.segment_shadow_bytes == 4096
+    assert g.buffer.pending_tokens == ((APPEND_SHADOW, 7),)
+
+
+def test_shadow_accounted_on_flush(store, tiny_config):
+    g = store.groups[0]
+    for i in range(tiny_config.chunk.chunk_blocks):
+        g.append_shadow(i, now_us=0)
+    assert g.traffic.shadow_blocks == tiny_config.chunk.chunk_blocks
+    assert g.traffic.chunk_flushes == 1
+
+
+def test_shadow_watermark_and_unshadowed(store):
+    g = store.groups[0]
+    g.append_user(1, 0)
+    g.append_user(2, 0)
+    assert len(g.unshadowed_pending) == 2
+    g.mark_all_shadowed(now_us=5)
+    assert g.unshadowed_pending == ()
+    g.append_user(3, 6)
+    assert g.unshadowed_pending == ((APPEND_USER, 3),)
+
+
+def test_partial_shadow_watermark(store):
+    g = store.groups[0]
+    for lba in (1, 2, 3):
+        g.append_user(lba, 0)
+    g.mark_partially_shadowed(2, now_us=5)
+    assert g.unshadowed_pending == ((APPEND_USER, 3),)
+    before = g.buffer.deadline_us
+    g.mark_partially_shadowed(1, now_us=50)
+    assert g.unshadowed_pending == ()
+    assert g.buffer.deadline_us == 150  # timer restarted at full coverage
+    assert before != g.buffer.deadline_us
+
+
+def test_watermark_resets_on_flush(store, tiny_config):
+    g = store.groups[0]
+    g.append_user(1, 0)
+    g.mark_all_shadowed(0)
+    for i in range(1, tiny_config.chunk.chunk_blocks):
+        g.append_user(10 + i, 0)
+    # Chunk flushed FULL; watermark must reset for the next chunk.
+    assert g.buffer.pending_blocks == 0
+    g.append_user(99, 1)
+    assert len(g.unshadowed_pending) == 1
+
+
+def test_deadline_flush_counters(store):
+    g = store.groups[0]
+    g.append_user(1, 0)
+    g.poll_deadline(now_us=10_000)
+    assert g.traffic.deadline_flushes == 1
+    g.append_user(2, 20_000)
+    g.force_flush(now_us=20_001)
+    assert g.traffic.forced_flushes == 1

@@ -1,0 +1,54 @@
+"""StoreStats metric arithmetic."""
+
+from repro.lss.stats import GroupTraffic, StoreStats
+
+
+def make_stats():
+    st = StoreStats()
+    st.groups = [
+        GroupTraffic("user", "user", user_blocks=100, padding_blocks=50,
+                     shadow_blocks=10),
+        GroupTraffic("gc", "gc", gc_blocks=40),
+    ]
+    st.user_blocks_requested = 100
+    return st
+
+
+def test_totals():
+    st = make_stats()
+    assert st.user_blocks_written == 100
+    assert st.gc_blocks_written == 40
+    assert st.shadow_blocks_written == 10
+    assert st.padding_blocks_written == 50
+    assert st.flash_blocks_written == 200
+
+
+def test_write_amplification_definition():
+    st = make_stats()
+    assert st.write_amplification() == 2.0
+
+
+def test_ratios():
+    st = make_stats()
+    assert st.padding_traffic_ratio() == 0.25
+    assert st.gc_traffic_ratio() == 0.2
+
+
+def test_empty_stats_are_zero():
+    st = StoreStats()
+    assert st.write_amplification() == 0.0
+    assert st.padding_traffic_ratio() == 0.0
+    assert st.gc_traffic_ratio() == 0.0
+
+
+def test_group_padding_fraction():
+    g = GroupTraffic("g", "user", user_blocks=3, padding_blocks=1)
+    assert g.padding_fraction() == 0.25
+    assert GroupTraffic("e", "user").padding_fraction() == 0.0
+
+
+def test_summary_keys():
+    s = make_stats().summary()
+    assert s["write_amplification"] == 2.0
+    assert s["padding_blocks_written"] == 50.0
+    assert "gc_traffic_ratio" in s

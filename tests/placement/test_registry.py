@@ -1,0 +1,38 @@
+"""Policy registry, including the lazy ADAPT hook."""
+
+import pytest
+
+from repro.lss.config import LSSConfig
+from repro.placement.base import PlacementPolicy
+from repro.placement.registry import available_policies, make_policy, register
+
+
+def test_all_paper_policies_available():
+    names = available_policies()
+    for expected in ("sepgc", "dac", "warcip", "mida", "sepbit", "adapt",
+                     "midas-lite"):
+        assert expected in names
+
+
+def test_make_policy_instantiates(small_config):
+    for name in ("sepgc", "dac", "warcip", "mida", "sepbit", "adapt"):
+        pol = make_policy(name, small_config)
+        assert pol.name == name
+        assert len(pol.group_specs()) >= 2
+
+
+def test_unknown_policy():
+    with pytest.raises(ValueError):
+        make_policy("lru", LSSConfig(logical_blocks=1024))
+
+
+def test_register_conflict_rejected():
+    class Fake(PlacementPolicy):
+        name = "sepgc"
+    with pytest.raises(ValueError):
+        register("sepgc", Fake)
+
+
+def test_reregister_same_factory_is_idempotent():
+    from repro.placement.sepgc import SepGCPolicy
+    register("sepgc", SepGCPolicy)  # no error

@@ -1,0 +1,71 @@
+"""Property-based tests for the FTL substrate and crash recovery."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.array.chunk import ChunkGeometry
+from repro.common.units import KiB
+from repro.ftl.nand import FlashGeometry, PageMappedFTL
+from repro.lss.config import LSSConfig
+from repro.lss.recovery import verify_recovery
+from repro.lss.store import LogStructuredStore
+from repro.placement.registry import make_policy
+from repro.trace.model import Trace
+
+LOGICAL = 256
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, LOGICAL - 1),        # lpn
+                  st.integers(0, 1),                  # stream
+                  st.booleans()),                     # trim instead?
+        min_size=1, max_size=500),
+)
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_ftl_invariants_under_arbitrary_ops(ops):
+    ftl = PageMappedFTL(FlashGeometry(num_blocks=30, pages_per_block=16),
+                        logical_pages=LOGICAL, num_streams=2)
+    live = set()
+    for lpn, stream, is_trim in ops:
+        if is_trim:
+            ftl.trim(lpn, 4)
+            live -= set(range(lpn, lpn + 4))
+        else:
+            ftl.write(lpn, stream)
+            live.add(lpn)
+    ftl.check_invariants()
+    # Exactly the live LPNs are mapped.
+    mapped = {int(l) for l in np.flatnonzero(ftl._mapping != -1)}
+    assert mapped == live
+    assert ftl.device_write_amplification() >= 1.0 or not live
+
+
+CFG = LSSConfig(logical_blocks=512, segment_blocks=16,
+                chunk=ChunkGeometry(chunk_bytes=16 * KiB),
+                over_provisioning=0.6, gc_free_low=4, gc_free_high=6)
+
+policy_names = st.sampled_from(["sepgc", "sepbit", "adapt", "midas-lite"])
+
+
+@given(
+    lbas=st.lists(st.integers(0, 511), min_size=1, max_size=400),
+    gaps=st.lists(st.integers(1, 2000), min_size=1, max_size=400),
+    policy_name=policy_names,
+)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_recovery_reproduces_mapping_for_any_workload(lbas, gaps,
+                                                      policy_name):
+    n = min(len(lbas), len(gaps))
+    ts = np.cumsum(np.asarray(gaps[:n], dtype=np.int64))
+    trace = Trace(ts, np.ones(n, dtype=np.uint8),
+                  np.asarray(lbas[:n], dtype=np.int64),
+                  np.ones(n, dtype=np.int64))
+    store = LogStructuredStore(CFG, make_policy(policy_name, CFG))
+    store.replay(trace, finalize=False)
+    verify_recovery(store)
+    store.finalize()
+    verify_recovery(store)

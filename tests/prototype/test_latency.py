@@ -1,0 +1,62 @@
+"""Closed-loop latency simulation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.prototype.engine import PrototypeConfig
+from repro.prototype.latency import simulate_latency
+
+SMALL = PrototypeConfig(unique_blocks=8192, num_writes=25_000)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return {}
+
+
+def test_latency_distribution_sane(cache):
+    res = simulate_latency("sepgc", clients=2, cfg=SMALL, num_ops=5_000,
+                           _profile_cache=cache)
+    assert res.ops_completed > 0
+    assert 0 < res.p50_us <= res.p99_us <= res.max_us
+    assert res.mean_us > 0
+
+
+def test_sparse_load_latency_is_sla_dominated(cache):
+    """With one client the open chunk rarely fills: ops persist at the
+    100 us SLA flush, so the median sits at/above the window."""
+    light = simulate_latency("sepgc", clients=1, cfg=SMALL, num_ops=5_000,
+                             _profile_cache=cache)
+    assert light.p50_us >= 90.0
+
+
+def test_batching_then_queueing_with_load(cache):
+    """Moderate load *improves* latency (chunks fill before the SLA);
+    saturating load degrades the tail again as device queues build."""
+    light = simulate_latency("sepgc", clients=1, cfg=SMALL, num_ops=5_000,
+                             _profile_cache=cache)
+    moderate = simulate_latency("sepgc", clients=8, cfg=SMALL,
+                                num_ops=5_000, _profile_cache=cache)
+    saturated = simulate_latency("sepgc", clients=128, cfg=SMALL,
+                                 num_ops=20_000, _profile_cache=cache)
+    assert moderate.p50_us <= light.p50_us
+    assert saturated.p99_us >= moderate.p99_us
+
+
+def test_lower_wa_means_lower_tail_under_saturation(cache):
+    """ADAPT's smaller amplification surplus must not produce a worse tail
+    than the highest-WA baseline at high client counts."""
+    adapt = simulate_latency("adapt", clients=16, cfg=SMALL, num_ops=5_000,
+                             _profile_cache=cache)
+    worst = simulate_latency("warcip", clients=16, cfg=SMALL,
+                             num_ops=5_000, _profile_cache=cache)
+    assert adapt.p99_us <= worst.p99_us * 1.05
+
+
+def test_validation(cache):
+    with pytest.raises(ConfigError):
+        simulate_latency("sepgc", clients=0, cfg=SMALL,
+                         _profile_cache=cache)
+    with pytest.raises(ConfigError):
+        simulate_latency("sepgc", clients=1, cfg=SMALL, num_ops=10,
+                         _profile_cache=cache)

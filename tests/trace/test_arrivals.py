@@ -1,0 +1,72 @@
+"""Arrival-process models."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import MICROS_PER_SEC
+from repro.trace.synthetic.arrivals import BurstyArrivalModel, uniform_arrivals
+
+
+def test_bursty_mean_rate_approximately_honoured():
+    model = BurstyArrivalModel(mean_rate=100.0, mean_burst_len=5,
+                               intra_burst_gap_us=10)
+    ts = model.generate(20_000, rng=1)
+    duration_s = (ts[-1] - ts[0]) / MICROS_PER_SEC
+    rate = len(ts) / duration_s
+    assert 60 < rate < 160  # within ~40 % of the target
+
+
+def test_bursty_timestamps_sorted_and_nonnegative():
+    ts = BurstyArrivalModel(10.0).generate(5000, rng=2)
+    assert np.all(np.diff(ts) >= 0)
+    assert ts[0] >= 0
+
+
+def test_bursty_produces_bursts():
+    """Inter-arrival distribution must be bimodal: many short intra-burst
+    gaps and a heavy tail of long inter-burst gaps."""
+    model = BurstyArrivalModel(mean_rate=10.0, mean_burst_len=8,
+                               intra_burst_gap_us=20)
+    ts = model.generate(10_000, rng=3)
+    gaps = np.diff(ts)
+    short = np.mean(gaps < 200)
+    long = np.mean(gaps > 10_000)
+    assert short > 0.5        # most gaps are intra-burst
+    assert long > 0.05        # but a solid fraction are inter-burst
+
+
+def test_bursty_zero_and_exact_counts():
+    model = BurstyArrivalModel(1.0)
+    assert model.generate(0, rng=1).shape == (0,)
+    assert model.generate(17, rng=1).shape == (17,)
+
+
+def test_bursty_validation():
+    with pytest.raises(ValueError):
+        BurstyArrivalModel(0.0)
+    with pytest.raises(ValueError):
+        BurstyArrivalModel(1.0, mean_burst_len=0.5)
+    with pytest.raises(ValueError):
+        BurstyArrivalModel(1.0, intra_burst_gap_us=-1)
+    with pytest.raises(ValueError):
+        BurstyArrivalModel(1.0).generate(-1)
+
+
+def test_uniform_arrivals_spacing():
+    ts = uniform_arrivals(10, 100.0)
+    assert list(np.diff(ts)) == [100] * 9
+
+
+def test_uniform_arrivals_jitter_keeps_order():
+    ts = uniform_arrivals(1000, 50.0, rng=4, jitter=0.5)
+    assert np.all(np.diff(ts) >= 0)
+    assert abs(float(np.mean(np.diff(ts))) - 50.0) < 5.0
+
+
+def test_uniform_arrivals_validation():
+    with pytest.raises(ValueError):
+        uniform_arrivals(-1, 10.0)
+    with pytest.raises(ValueError):
+        uniform_arrivals(5, 0.0)
+    with pytest.raises(ValueError):
+        uniform_arrivals(5, 10.0, jitter=2.0)

@@ -1,0 +1,109 @@
+"""Cloud fleet generators vs the paper's Figure 2 characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import KiB
+from repro.trace.model import OP_WRITE
+from repro.trace.stats import compute_stats, write_size_distribution
+from repro.trace.synthetic.cloud import (
+    ALI,
+    MSRC,
+    TENCENT,
+    CloudProfile,
+    VolumeSpec,
+    generate_fleet,
+    generate_volume,
+    profile_by_name,
+)
+
+
+def test_profile_lookup():
+    assert profile_by_name("ali") is ALI
+    assert profile_by_name("TENCENT") is TENCENT
+    with pytest.raises(ValueError):
+        profile_by_name("aws")
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        CloudProfile(name="x", rate_log_mean=0, rate_log_sigma=1,
+                     write_size_probs=(1.0,), alpha_range=(0.5, 1.0),
+                     read_ratio_beta=(1, 1), mean_burst_len=2,
+                     intra_burst_gap_us=10, sequential_prob=0.5)
+
+
+def test_fleet_is_deterministic_and_distinct():
+    a = generate_fleet("ali", 3, unique_blocks=2048, num_requests=2000,
+                       seed=9)
+    b = generate_fleet("ali", 3, unique_blocks=2048, num_requests=2000,
+                       seed=9)
+    assert all(np.array_equal(x.offsets, y.offsets) for x, y in zip(a, b))
+    assert not np.array_equal(a[0].offsets, a[1].offsets)
+
+
+def test_fleet_volume_names():
+    fleet = generate_fleet("msrc", 2, unique_blocks=1024, num_requests=500,
+                           seed=1)
+    assert fleet[0].volume == "msrc-000"
+    assert fleet[1].volume == "msrc-001"
+
+
+def test_traces_are_valid_and_in_range():
+    fleet = generate_fleet("tencent", 3, unique_blocks=4096,
+                           num_requests=3000, seed=2)
+    for tr in fleet:
+        tr.validate()
+        assert tr.max_lba() < 4096
+
+
+def test_write_size_distribution_matches_paper_band():
+    """Fig 2b: 69.8-80.9 % of writes <= 8 KiB; 10.8-23.4 % > 32 KiB."""
+    fleet = generate_fleet("ali", 6, unique_blocks=2048, num_requests=5000,
+                           seed=3)
+    stats = [compute_stats(t) for t in fleet]
+    dist = write_size_distribution(stats)
+    assert 0.65 <= dist["le_8KiB"] <= 0.85
+    assert 0.05 <= dist["gt_32KiB"] <= 0.30
+
+
+def test_request_rate_sparsity_matches_paper_band():
+    """Fig 2a: most volumes under 10 req/s, very few above 100 req/s."""
+    fleet = generate_fleet("ali", 40, unique_blocks=512, num_requests=800,
+                           seed=4)
+    rates = np.array([compute_stats(t).avg_request_rate for t in fleet])
+    assert np.mean(rates < 10) > 0.55
+    assert np.mean(rates > 100) < 0.25
+
+
+def test_msrc_is_read_intensive():
+    fleet = generate_fleet("msrc", 8, unique_blocks=1024, num_requests=2000,
+                           seed=5)
+    ratios = [np.mean(t.ops == OP_WRITE) for t in fleet]
+    assert np.mean(ratios) < 0.5  # writes are the minority
+
+
+def test_tencent_more_skewed_than_ali():
+    assert min(TENCENT.alpha_range) > min(ALI.alpha_range)
+
+
+def test_generate_volume_empty():
+    spec = VolumeSpec(volume="v", unique_blocks=100, num_requests=0,
+                      mean_rate=1.0, zipf_alpha=0.9, read_ratio=0.3,
+                      profile=ALI)
+    assert len(generate_volume(spec, rng=1)) == 0
+
+
+def test_generate_fleet_validation():
+    with pytest.raises(ValueError):
+        generate_fleet("ali", 0)
+
+
+def test_sequential_runs_present():
+    """Sequential continuation produces adjacent extents."""
+    fleet = generate_fleet("tencent", 1, unique_blocks=8192,
+                           num_requests=4000, seed=6)
+    tr = fleet[0]
+    follows = np.mean(tr.offsets[1:] == (tr.offsets[:-1] + tr.sizes[:-1]) %
+                      np.maximum(8192 - tr.sizes[1:], 1))
+    assert follows > 0.15

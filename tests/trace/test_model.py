@@ -1,0 +1,108 @@
+"""Trace container semantics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.model import OP_READ, OP_WRITE, Trace
+
+from tests.conftest import make_write_trace
+
+
+def test_from_rows_roundtrip():
+    rows = [(0, OP_WRITE, 10, 2), (5, OP_READ, 0, 1), (9, OP_WRITE, 4, 4)]
+    tr = Trace.from_rows(rows)
+    assert len(tr) == 3
+    assert list(tr.iter_requests()) == rows
+
+
+def test_empty_trace():
+    tr = Trace.empty()
+    assert len(tr) == 0
+    assert tr.duration_us == 0
+    assert tr.total_write_blocks() == 0
+    assert tr.max_lba() == -1
+    assert tr.unique_write_blocks() == 0
+
+
+def test_validate_accepts_well_formed():
+    tr = make_write_trace([1, 2, 3])
+    assert tr.validate() is tr
+
+
+def test_validate_rejects_decreasing_timestamps():
+    tr = Trace(np.array([5, 1]), np.array([1, 1], dtype=np.uint8),
+               np.array([0, 0]), np.array([1, 1]))
+    with pytest.raises(TraceFormatError):
+        tr.validate()
+
+
+def test_validate_rejects_zero_size():
+    tr = Trace(np.array([0]), np.array([1], dtype=np.uint8),
+               np.array([0]), np.array([0]))
+    with pytest.raises(TraceFormatError):
+        tr.validate()
+
+
+def test_validate_rejects_bad_op():
+    tr = Trace(np.array([0]), np.array([7], dtype=np.uint8),
+               np.array([0]), np.array([1]))
+    with pytest.raises(TraceFormatError):
+        tr.validate()
+
+
+def test_validate_rejects_negative_offset():
+    tr = Trace(np.array([0]), np.array([1], dtype=np.uint8),
+               np.array([-1]), np.array([1]))
+    with pytest.raises(TraceFormatError):
+        tr.validate()
+
+
+def test_writes_filters_reads():
+    rows = [(0, OP_WRITE, 0, 1), (1, OP_READ, 1, 1), (2, OP_WRITE, 2, 3)]
+    tr = Trace.from_rows(rows)
+    w = tr.writes()
+    assert len(w) == 2
+    assert w.total_write_blocks() == 4
+
+
+def test_concat_sorts_by_timestamp():
+    a = Trace.from_rows([(0, 1, 0, 1), (10, 1, 1, 1)], volume="a")
+    b = Trace.from_rows([(5, 1, 2, 1)], volume="b")
+    merged = Trace.concat([a, b])
+    assert list(merged.timestamps) == [0, 5, 10]
+    assert list(merged.offsets) == [0, 2, 1]
+
+
+def test_concat_empty_list():
+    assert len(Trace.concat([])) == 0
+
+
+def test_unique_write_blocks_counts_extents_once():
+    # Writes [0,4) and [2,6): union is [0,6) = 6 blocks.
+    tr = Trace.from_rows([(0, OP_WRITE, 0, 4), (1, OP_WRITE, 2, 4)])
+    assert tr.unique_write_blocks() == 6
+
+
+def test_unique_write_blocks_ignores_reads():
+    tr = Trace.from_rows([(0, OP_READ, 0, 8), (1, OP_WRITE, 0, 2)])
+    assert tr.unique_write_blocks() == 2
+
+
+def test_slicing_returns_trace_view():
+    tr = make_write_trace(range(10))
+    head = tr[:3]
+    assert len(head) == 3
+    assert list(head.offsets) == [0, 1, 2]
+    with pytest.raises(TypeError):
+        tr[0]
+
+
+def test_max_lba_spans_extents():
+    tr = Trace.from_rows([(0, OP_WRITE, 10, 5)])
+    assert tr.max_lba() == 14
+
+
+def test_duration_microseconds():
+    tr = make_write_trace([0, 1, 2], gap_us=50)
+    assert tr.duration_us == 100

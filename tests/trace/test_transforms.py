@@ -1,0 +1,90 @@
+"""Trace transforms."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.model import Trace
+from repro.trace.transforms import (
+    head,
+    multiplex,
+    remap_offsets,
+    scale_rate,
+    split_by_address,
+    time_slice,
+)
+
+from tests.conftest import make_write_trace
+
+
+def test_time_slice_rebases():
+    tr = make_write_trace(range(10), gap_us=100)
+    sl = time_slice(tr, 300, 700)
+    assert len(sl) == 4
+    assert sl.timestamps[0] == 0
+    assert list(sl.offsets) == [3, 4, 5, 6]
+
+
+def test_time_slice_empty_window():
+    tr = make_write_trace(range(5))
+    assert len(time_slice(tr, 10**6, 10**6 + 5)) == 0
+    with pytest.raises(ValueError):
+        time_slice(tr, 10, 5)
+
+
+def test_scale_rate_moves_gaps():
+    tr = make_write_trace(range(10), gap_us=200)
+    fast = scale_rate(tr, 4.0)
+    assert np.all(np.diff(fast.timestamps) == 50)
+    slow = scale_rate(tr, 0.5)
+    assert np.all(np.diff(slow.timestamps) == 400)
+    with pytest.raises(ValueError):
+        scale_rate(tr, 0)
+
+
+def test_remap_offsets():
+    tr = make_write_trace([1, 2, 3])
+    shifted = remap_offsets(tr, 100)
+    assert list(shifted.offsets) == [101, 102, 103]
+    with pytest.raises(ValueError):
+        remap_offsets(tr, -1)
+
+
+def test_head():
+    tr = make_write_trace(range(10))
+    assert len(head(tr, 3)) == 3
+    with pytest.raises(ValueError):
+        head(tr, -1)
+
+
+def test_multiplex_disjoint_ranges():
+    a = make_write_trace([0, 1, 2], gap_us=100, volume="a")
+    b = make_write_trace([0, 5], gap_us=150, volume="b")
+    merged, bases = multiplex([a, b])
+    assert bases == [0, 3]
+    merged.validate()
+    assert merged.max_lba() == 3 + 5
+    assert len(merged) == 5
+    # Interleaved by time, monotone.
+    assert np.all(np.diff(merged.timestamps) >= 0)
+
+
+def test_multiplex_explicit_spans_and_errors():
+    a = make_write_trace([0, 9], volume="a")
+    with pytest.raises(ValueError):
+        multiplex([a], address_blocks=[5])   # too small for max_lba 9
+    with pytest.raises(ValueError):
+        multiplex([a], address_blocks=[5, 5])
+    with pytest.raises(TraceFormatError):
+        multiplex([])
+
+
+def test_multiplex_split_roundtrip():
+    a = make_write_trace([0, 1, 2, 1], gap_us=100, volume="a")
+    b = make_write_trace([3, 0], gap_us=170, volume="b")
+    spans = [8, 8]
+    merged, bases = multiplex([a, b], address_blocks=spans)
+    back = split_by_address(merged, bases, spans)
+    assert list(back[0].offsets) == [0, 1, 2, 1]
+    assert list(back[1].offsets) == [3, 0]
+    assert len(back[0]) + len(back[1]) == len(merged)

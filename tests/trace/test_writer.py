@@ -1,0 +1,26 @@
+"""CSV writer round-trips with the parser."""
+
+import io
+
+from repro.trace.parser import parse_csv
+from repro.trace.writer import write_csv
+
+from tests.conftest import make_write_trace
+
+
+def test_write_read_roundtrip(tmp_path):
+    tr = make_write_trace([5, 1, 9], gap_us=33)
+    path = tmp_path / "out.csv"
+    write_csv(tr, path)
+    back = parse_csv(path)
+    assert list(back.timestamps) == list(tr.timestamps)
+    assert list(back.offsets) == list(tr.offsets)
+    assert list(back.sizes) == list(tr.sizes)
+    assert list(back.ops) == list(tr.ops)
+
+
+def test_write_to_stream_without_header():
+    tr = make_write_trace([0])
+    buf = io.StringIO()
+    write_csv(tr, buf, header=False)
+    assert buf.getvalue().strip() == "0,W,0,4096"

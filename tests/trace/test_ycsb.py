@@ -1,0 +1,87 @@
+"""YCSB-A generator."""
+
+import numpy as np
+import pytest
+
+from repro.trace.model import OP_READ, OP_WRITE
+from repro.trace.synthetic.ycsb import (
+    DensityPreset,
+    YcsbConfig,
+    generate,
+    generate_ycsb_a,
+)
+
+
+def test_fill_phase_covers_population():
+    tr = generate_ycsb_a(1000, 0, seed=1, include_fill=True)
+    assert tr.unique_write_blocks() == 1000
+
+
+def test_update_phase_counts():
+    tr = generate_ycsb_a(1000, 2000, seed=1, read_ratio=0.5,
+                         include_fill=False)
+    writes = int(np.sum(tr.ops == OP_WRITE))
+    reads = int(np.sum(tr.ops == OP_READ))
+    assert writes == 2000
+    assert abs(reads - 2000) <= 1  # 50/50 mix
+
+
+def test_zero_read_ratio_means_all_writes():
+    tr = generate_ycsb_a(500, 1000, seed=2, read_ratio=0.0,
+                         include_fill=False)
+    assert np.all(tr.ops == OP_WRITE)
+
+
+def test_density_presets_control_gaps():
+    light = generate_ycsb_a(500, 2000, seed=3, density=DensityPreset.LIGHT,
+                            include_fill=False, read_ratio=0.0)
+    heavy = generate_ycsb_a(500, 2000, seed=3, density=DensityPreset.HEAVY,
+                            include_fill=False, read_ratio=0.0)
+    assert np.mean(np.diff(light.timestamps)) > \
+        10 * np.mean(np.diff(heavy.timestamps))
+    # LIGHT preset must sit above the 100 us SLA window on average.
+    assert np.mean(np.diff(light.timestamps)) > 100
+
+
+def test_explicit_density_value():
+    tr = generate_ycsb_a(500, 1000, seed=4, density=42.0, include_fill=False)
+    assert abs(float(np.mean(np.diff(tr.timestamps))) - 42.0) < 6.0
+
+
+def test_addresses_within_population():
+    tr = generate_ycsb_a(256, 5000, seed=5, include_fill=False)
+    assert tr.max_lba() < 256
+
+
+def test_zipf_alpha_skews_updates():
+    flat = generate_ycsb_a(1000, 20_000, zipf_alpha=0.0, seed=6,
+                           include_fill=False, read_ratio=0.0)
+    skew = generate_ycsb_a(1000, 20_000, zipf_alpha=0.99, seed=6,
+                           include_fill=False, read_ratio=0.0)
+    def top_share(tr):
+        counts = np.bincount(tr.offsets, minlength=1000)
+        counts.sort()
+        return counts[-100:].sum() / counts.sum()
+    assert top_share(skew) > top_share(flat) + 0.2
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        YcsbConfig(unique_blocks=0, num_writes=1)
+    with pytest.raises(ValueError):
+        YcsbConfig(unique_blocks=1, num_writes=-1)
+    with pytest.raises(ValueError):
+        YcsbConfig(unique_blocks=1, num_writes=1, read_ratio=1.0)
+    with pytest.raises(ValueError):
+        YcsbConfig(unique_blocks=1, num_writes=1, write_size_blocks=0)
+
+
+def test_generate_is_deterministic():
+    cfg = YcsbConfig(unique_blocks=100, num_writes=500, seed=7)
+    a, b = generate(cfg), generate(cfg)
+    assert np.array_equal(a.offsets, b.offsets)
+    assert np.array_equal(a.timestamps, b.timestamps)
+
+
+def test_trace_is_valid():
+    generate_ycsb_a(1000, 3000, seed=8).validate()

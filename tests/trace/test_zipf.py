@@ -1,0 +1,73 @@
+"""Bounded Zipf sampler."""
+
+import numpy as np
+import pytest
+
+from repro.trace.synthetic.zipf import ZipfSampler
+
+
+def test_uniform_when_alpha_zero():
+    s = ZipfSampler(100, 0.0, rng=1)
+    draws = s.sample(50_000)
+    counts = np.bincount(draws, minlength=100)
+    # Every item should be hit roughly 500 times.
+    assert counts.min() > 350 and counts.max() < 680
+
+
+def test_skew_increases_head_mass():
+    light = ZipfSampler(1000, 0.5, rng=2)
+    heavy = ZipfSampler(1000, 1.2, rng=2)
+    assert heavy.head_mass(0.1) > light.head_mass(0.1)
+
+
+def test_strong_locality_at_alpha_09():
+    """The paper's operating point: ~80 % of traffic on the top 20 %."""
+    s = ZipfSampler(100_000, 0.9, rng=3)
+    assert 0.65 < s.head_mass(0.2) < 0.95
+
+
+def test_samples_within_range():
+    s = ZipfSampler(64, 0.99, rng=4)
+    draws = s.sample(10_000)
+    assert draws.min() >= 0 and draws.max() < 64
+
+
+def test_shuffle_decorrelates_rank_and_address():
+    s = ZipfSampler(1000, 1.2, rng=5, shuffle=True)
+    draws = s.sample(20_000)
+    counts = np.bincount(draws, minlength=1000)
+    hottest = int(np.argmax(counts))
+    # With shuffling the hottest item is almost surely not address 0.
+    unshuffled = ZipfSampler(1000, 1.2, rng=5, shuffle=False)
+    d2 = unshuffled.sample(20_000)
+    assert int(np.argmax(np.bincount(d2, minlength=1000))) == 0
+    assert counts[hottest] > 0
+
+
+def test_probability_of_rank_sums_to_one():
+    s = ZipfSampler(50, 0.7, rng=6)
+    total = sum(s.probability_of_rank(r) for r in range(50))
+    assert abs(total - 1.0) < 1e-9
+
+
+def test_probability_of_rank_is_decreasing():
+    s = ZipfSampler(50, 0.7, rng=6)
+    probs = [s.probability_of_rank(r) for r in range(50)]
+    assert all(a >= b - 1e-12 for a, b in zip(probs, probs[1:]))
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -0.1)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, 1.0).sample(-1)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, 1.0).probability_of_rank(10)
+
+
+def test_deterministic_with_seed():
+    a = ZipfSampler(100, 0.9, rng=42).sample(100)
+    b = ZipfSampler(100, 0.9, rng=42).sample(100)
+    assert np.array_equal(a, b)
