@@ -28,6 +28,7 @@ from enum import Enum
 from typing import Any
 
 from repro.common.errors import ConfigError
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 
 
 class FlushReason(Enum):
@@ -60,10 +61,16 @@ class CoalescingBuffer:
             flushes (bulk/GC writers).
         sla_mode: ``"idle"`` (deadline restarts on each append) or
             ``"first"`` (deadline fixed at first append).
+        obs: observability recorder notified of every emitted flush
+            (defaults to the shared no-op recorder).
+        owner_gid / owner_name: identity stamped onto the emitted
+            ``chunk_flush``/``padding`` events.
     """
 
     def __init__(self, chunk_blocks: int, window_us: int | None,
-                 sla_mode: str = "idle") -> None:
+                 sla_mode: str = "idle",
+                 obs: NullRecorder | None = None,
+                 owner_gid: int = -1, owner_name: str = "") -> None:
         if chunk_blocks < 1:
             raise ConfigError("chunk_blocks must be >= 1")
         if window_us is not None and window_us < 0:
@@ -73,6 +80,9 @@ class CoalescingBuffer:
         self.chunk_blocks = chunk_blocks
         self.window_us = window_us
         self.sla_mode = sla_mode
+        self.obs = NULL_RECORDER if obs is None else obs
+        self.owner_gid = owner_gid
+        self.owner_name = owner_name
         self._tokens: list[Any] = []
         self._timer_start_us: int | None = None
 
@@ -145,6 +155,9 @@ class CoalescingBuffer:
         padding = self.chunk_blocks - len(tokens) if pad else 0
         self._tokens.clear()
         self._timer_start_us = None
-        return ChunkFlush(reason=reason, tokens=tokens,
-                          data_blocks=len(tokens), padding_blocks=padding,
-                          time_us=now_us)
+        flush = ChunkFlush(reason=reason, tokens=tokens,
+                           data_blocks=len(tokens), padding_blocks=padding,
+                           time_us=now_us)
+        if self.obs.enabled:
+            self.obs.on_chunk_flush(self.owner_gid, self.owner_name, flush)
+        return flush

@@ -6,11 +6,14 @@ Examples::
     adapt-repro fig8 --scale smoke
     adapt-repro fig11 --scale default
     adapt-repro replay --scheme adapt --profile ali --volumes 3
+    adapt-repro replay --scheme adapt --metrics-out out/
+    adapt-repro obs --scheme adapt --out obs-out/
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments import scale as scale_mod
@@ -81,22 +84,89 @@ def _cmd_shared(args) -> str:
     return render_shared_store(run_shared_store(_get_scale(args.scale)))
 
 
+def _export_observability(recorder, out_dir: str, stem: str) -> list[str]:
+    """Write the three observability artifacts for one replay; returns the
+    paths written."""
+    from repro.obs.exporters import (write_events_jsonl, write_prometheus,
+                                     write_timeseries_csv)
+    os.makedirs(out_dir, exist_ok=True)
+    events = os.path.join(out_dir, f"{stem}.events.jsonl")
+    series = os.path.join(out_dir, f"{stem}.timeseries.csv")
+    prom = os.path.join(out_dir, f"{stem}.prom")
+    write_events_jsonl(recorder.tracer, events)
+    write_timeseries_csv(recorder, series)
+    write_prometheus(recorder.registry, prom)
+    return [events, series, prom]
+
+
 def _cmd_replay(args) -> str:
     from repro.experiments.runner import replay_volume
+    from repro.obs.recorder import ObsRecorder
     from repro.trace.synthetic.cloud import generate_fleet
     s = _get_scale(args.scale)
     fleet = generate_fleet(args.profile, args.volumes,
                            unique_blocks=s.volume_blocks,
                            num_requests=s.volume_requests, seed=args.seed)
     rows = []
+    written: list[str] = []
     for trace in fleet:
+        recorder = None
+        if args.metrics_out:
+            spill = os.path.join(args.metrics_out,
+                                 f"{trace.volume}.events.jsonl")
+            os.makedirs(args.metrics_out, exist_ok=True)
+            recorder = ObsRecorder(spill_path=spill)
         r = replay_volume(args.scheme, trace, victim=args.victim,
-                          logical_blocks=s.volume_blocks)
+                          logical_blocks=s.volume_blocks, seed=args.seed,
+                          recorder=recorder)
+        if recorder is not None:
+            written += _export_observability(recorder, args.metrics_out,
+                                             trace.volume)
         rows.append([r.volume, r.write_amplification, r.padding_ratio,
                      r.gc_ratio])
-    return render_table(["volume", "WA", "padding_ratio", "gc_ratio"],
-                        rows, title=f"{args.scheme} on {args.profile} "
-                                    f"({args.victim})")
+    table = render_table(["volume", "WA", "padding_ratio", "gc_ratio"],
+                         rows, title=f"{args.scheme} on {args.profile} "
+                                     f"({args.victim})")
+    if written:
+        table += "\nmetrics written:\n" + "\n".join(
+            f"  {p}" for p in written)
+    return table
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _cmd_obs(args) -> str:
+    """Replay one volume with full observability and export artifacts."""
+    from repro.experiments.runner import replay_volume
+    from repro.obs.recorder import ObsRecorder
+    from repro.trace.synthetic.cloud import generate_fleet
+    s = _get_scale(args.scale)
+    trace = generate_fleet(args.profile, 1, unique_blocks=s.volume_blocks,
+                           num_requests=s.volume_requests,
+                           seed=args.seed)[0]
+    os.makedirs(args.out, exist_ok=True)
+    spill = os.path.join(args.out, f"{trace.volume}.events.jsonl")
+    recorder = ObsRecorder(sample_every_blocks=args.sample_every,
+                           spill_path=spill)
+    result = replay_volume(args.scheme, trace, victim=args.victim,
+                           logical_blocks=s.volume_blocks, seed=args.seed,
+                           recorder=recorder)
+    written = _export_observability(recorder, args.out, trace.volume)
+    counts = recorder.tracer.counts
+    rows = [[k, counts[k]] for k in sorted(counts)]
+    rows.append(["(series rows)", len(recorder.series)])
+    table = render_table(
+        ["event", "count"], rows,
+        title=f"{args.scheme} on {trace.volume}: "
+              f"WA={result.write_amplification:.3f} "
+              f"padding={result.padding_ratio:.3f} "
+              f"gc={result.gc_ratio:.3f}")
+    return table + "\nartifacts:\n" + "\n".join(f"  {p}" for p in written)
 
 
 _FIGS = {
@@ -129,16 +199,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--scale", default="smoke",
                    choices=["smoke", "default", "paper"])
+    p.add_argument("--metrics-out", default=None, metavar="DIR",
+                   help="export per-volume observability artifacts "
+                        "(events JSONL, time-series CSV, Prometheus "
+                        "snapshot) into DIR")
+
+    p = sub.add_parser("obs", help="replay one volume with full "
+                                   "observability and export artifacts")
+    p.add_argument("--scheme", default="adapt")
+    p.add_argument("--profile", default="ali",
+                   choices=["ali", "tencent", "msrc"])
+    p.add_argument("--victim", default="greedy")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "default", "paper"])
+    p.add_argument("--out", default="obs-out", metavar="DIR",
+                   help="artifact output directory (default: obs-out)")
+    p.add_argument("--sample-every", type=_positive_int, default=1024,
+                   metavar="BLOCKS",
+                   help="time-series sampling period in user blocks")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        print("experiments:", ", ".join(sorted(_FIGS)), "+ replay")
+        print("experiments:", ", ".join(sorted(_FIGS)), "+ replay, obs")
         return 0
     if args.command == "replay":
         print(_cmd_replay(args))
+        return 0
+    if args.command == "obs":
+        print(_cmd_obs(args))
         return 0
     print(_FIGS[args.command](args))
     return 0

@@ -17,6 +17,7 @@ configured threshold.
 from __future__ import annotations
 
 from repro.core.bloom import CascadedDiscriminator
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 
 
 class ProactiveDemotion:
@@ -44,6 +45,7 @@ class ProactiveDemotion:
         }
         self.demotions = 0
         self.lookups = 0
+        self.obs: NullRecorder = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # construction during GC
@@ -56,7 +58,7 @@ class ProactiveDemotion:
     # ------------------------------------------------------------------
     # lookup on the user-write path
     # ------------------------------------------------------------------
-    def demotion_target(self, lba: int) -> int | None:
+    def demotion_target(self, lba: int, now_us: int = 0) -> int | None:
         """Group to demote ``lba`` into, or ``None`` to use the normal
         hotness-based placement."""
         self.lookups += 1
@@ -67,6 +69,8 @@ class ProactiveDemotion:
                 best_gid, best_score = gid, score
         if best_gid is not None and best_score >= self.score_threshold:
             self.demotions += 1
+            if self.obs.enabled:
+                self.obs.on_demotion(lba, best_gid, best_score, now_us)
             return best_gid
         return None
 

@@ -96,6 +96,15 @@ class AdaptPolicy(PlacementPolicy):
             num_filters=ac.bloom_filters, capacity=ac.bloom_capacity,
             fp_rate=ac.bloom_fp_rate) if ac.enable_demotion else None
 
+    def attach_obs(self, obs) -> None:
+        super().attach_obs(obs)
+        if self.ladder is not None:
+            self.ladder.obs = obs
+        if self.aggregator is not None:
+            self.aggregator.obs = obs
+        if self.demotion is not None:
+            self.demotion.obs = obs
+
     # ------------------------------------------------------------------
     # groups
     # ------------------------------------------------------------------
@@ -134,7 +143,7 @@ class AdaptPolicy(PlacementPolicy):
         # (§3.4 targets long-lived cold blocks; hot-classified blocks are
         # never demoted).
         if self.demotion is not None:
-            target = self.demotion.demotion_target(lba)
+            target = self.demotion.demotion_target(lba, now_us)
             if target is not None:
                 return target
         return self.COLD
@@ -171,6 +180,8 @@ class AdaptPolicy(PlacementPolicy):
         self._ghost_adapted = True
         self._sampled_since_adapt = 0
         self.adaptation_log.append(result)
+        if self.obs.enabled:
+            self.obs.gauge("adapt_threshold_blocks", self.threshold)
 
     # ------------------------------------------------------------------
     # GC path (age ladder over the GC groups, SepBIT-style substrate)

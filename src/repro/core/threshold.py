@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.ghost import GhostSet
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,10 @@ class ThresholdLadder:
         self.sla_mode = sla_mode
         self.mode = "exponential"
         self.rounds = 0
+        #: Observability recorder (attached by the owning policy) and the
+        #: most recent stream timestamp, stamped onto switch events.
+        self.obs: NullRecorder = NULL_RECORDER
+        self._last_seen_us = 0
         self._build(self._exponential_grid(center=float(segment_blocks)))
 
     # ------------------------------------------------------------------
@@ -81,6 +86,7 @@ class ThresholdLadder:
     # stream + adaptation
     # ------------------------------------------------------------------
     def record(self, lba: int, interval: float | None, now_us: int) -> None:
+        self._last_seen_us = now_us
         for ghost in self.ghost_sets:
             ghost.record(lba, interval, now_us)
 
@@ -126,6 +132,9 @@ class ThresholdLadder:
             grid = self._linear_grid(thresholds[best_idx - 1],
                                      thresholds[best_idx + 1])
         self._build(grid)
+        if self.obs.enabled:
+            self.obs.on_threshold_switch(best_t, self.mode, self.rounds,
+                                         self._last_seen_us)
         return AdaptationResult(best_threshold=best_t, best_cost=best_c,
                                 costs=tuple(costs),
                                 thresholds=tuple(thresholds), mode=self.mode)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.lss.config import LSSConfig, default_segment_blocks
 from repro.lss.store import LogStructuredStore
+from repro.obs.recorder import ObsRecorder
 from repro.placement.registry import make_policy
 from repro.trace.model import Trace
 
@@ -37,6 +38,9 @@ class VolumeResult:
     group_traffic: tuple[dict, ...] = field(default=(), repr=False)
     group_occupancy: tuple[int, ...] = field(default=(), repr=False)
     policy_memory_bytes: int = 0
+    #: Observability snapshot (:meth:`repro.obs.ObsRecorder.snapshot`) when
+    #: the replay ran with metrics collection; ``None`` otherwise.
+    metrics: dict | None = field(default=None, repr=False)
 
 
 def store_config_for(trace_blocks: int, victim: str = "greedy",
@@ -54,12 +58,30 @@ def store_config_for(trace_blocks: int, victim: str = "greedy",
 def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
                   logical_blocks: int | None = None,
                   collect_groups: bool = False,
+                  seed: int = 0,
+                  recorder: ObsRecorder | None = None,
+                  collect_metrics: bool = False,
                   **policy_kwargs) -> VolumeResult:
-    """Replay one volume under one scheme and victim policy."""
-    blocks = logical_blocks or trace.max_lba() + 1
-    cfg = store_config_for(blocks, victim=victim)
+    """Replay one volume under one scheme and victim policy.
+
+    ``seed`` reaches the store config (victim-policy RNG, sampler salts).
+    Metrics are opt-in: pass ``collect_metrics=True`` for a default
+    :class:`~repro.obs.ObsRecorder`, or supply a configured ``recorder``
+    (e.g. with a JSONL spill path); either way the result carries the
+    recorder's snapshot in :attr:`VolumeResult.metrics`.
+    """
+    if logical_blocks is None:
+        blocks = trace.max_lba() + 1
+    else:
+        blocks = logical_blocks
+    if blocks <= 0:
+        raise ValueError(
+            f"logical_blocks must be a positive block count, got {blocks}")
+    cfg = store_config_for(blocks, victim=victim, seed=seed)
     policy = make_policy(scheme, cfg, **policy_kwargs)
-    store = LogStructuredStore(cfg, policy)
+    if recorder is None and collect_metrics:
+        recorder = ObsRecorder()
+    store = LogStructuredStore(cfg, policy, recorder=recorder)
     stats = store.replay(trace)
     groups: tuple[dict, ...] = ()
     occupancy: tuple[int, ...] = ()
@@ -85,26 +107,34 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
         group_traffic=groups,
         group_occupancy=occupancy,
         policy_memory_bytes=policy.memory_bytes(),
+        metrics=recorder.snapshot() if recorder is not None else None,
     )
 
 
 def _cell(args) -> VolumeResult:
-    scheme, trace, victim, logical_blocks, collect = args
+    scheme, trace, victim, logical_blocks, collect, seed, metrics = args
     return replay_volume(scheme, trace, victim,
                          logical_blocks=logical_blocks,
-                         collect_groups=collect)
+                         collect_groups=collect, seed=seed,
+                         collect_metrics=metrics)
 
 
 def run_matrix(schemes: list[str], traces: list[Trace],
                victims: list[str] = ("greedy",),
                logical_blocks: int | None = None,
                collect_groups: bool = False,
-               workers: int | None = None) -> list[VolumeResult]:
+               workers: int | None = None,
+               seed: int = 0,
+               collect_metrics: bool = False) -> list[VolumeResult]:
     """Sweep schemes x victims x traces; return the flat result list.
 
     ``workers=None`` auto-selects: serial on one core, processes otherwise.
+    Every cell runs with the same ``seed`` (cells are distinguished by
+    their scheme/victim/trace, not by RNG state), and metrics snapshots —
+    which pickle cleanly across worker processes — are attached to each
+    result when ``collect_metrics`` is set.
     """
-    jobs = [(s, t, v, logical_blocks, collect_groups)
+    jobs = [(s, t, v, logical_blocks, collect_groups, seed, collect_metrics)
             for v in victims for s in schemes for t in traces]
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)

@@ -52,7 +52,9 @@ class Group:
         window = (cfg.coalesce_window_us
                   if spec.kind in (GroupKind.USER, GroupKind.MIXED) else None)
         self.buffer = CoalescingBuffer(cfg.chunk.chunk_blocks, window,
-                                       sla_mode=cfg.sla_mode)
+                                       sla_mode=cfg.sla_mode,
+                                       obs=store.obs, owner_gid=gid,
+                                       owner_name=spec.name)
         self.open_seg: int | None = None
         self.traffic = GroupTraffic(name=spec.name, kind=spec.kind.value)
         #: Tokens at index < _shadow_mark already have substitutes persisted
@@ -155,6 +157,12 @@ class Group:
             t.deadline_flushes += 1
         elif flush.reason is FlushReason.FORCED:
             t.forced_flushes += 1
+        if self._shadow_mark and self.store._obs_on:
+            # Pending blocks below the watermark already had substitutes
+            # persisted elsewhere; this flush is their lazy append (§3.3).
+            self.store.obs.on_lazy_append(
+                self.gid, min(self._shadow_mark, flush.data_blocks),
+                flush.time_us)
         self._shadow_mark = 0
         self.store.on_chunk_flush(self, flush)
 

@@ -100,6 +100,8 @@ class StoreStats:
         """Flat dict of headline metrics (handy for report tables)."""
         return {
             "user_blocks_requested": float(self.user_blocks_requested),
+            "read_requests": float(self.read_requests),
+            "write_requests": float(self.write_requests),
             "flash_blocks_written": float(self.flash_blocks_written),
             "gc_blocks_written": float(self.gc_blocks_written),
             "shadow_blocks_written": float(self.shadow_blocks_written),
@@ -107,5 +109,6 @@ class StoreStats:
             "write_amplification": self.write_amplification(),
             "padding_traffic_ratio": self.padding_traffic_ratio(),
             "gc_traffic_ratio": self.gc_traffic_ratio(),
+            "gc_passes": float(self.gc_passes),
             "gc_segments_reclaimed": float(self.gc_segments_reclaimed),
         }

@@ -17,6 +17,7 @@ from repro.lss.group import Group, GroupKind
 from repro.lss.segment import SegmentPool
 from repro.lss.stats import StoreStats
 from repro.lss.victim import make_victim_policy
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.trace.model import OP_WRITE, Trace
 
 #: Encoded-mapping value for "never written".
@@ -29,11 +30,17 @@ class LogStructuredStore:
     Args:
         config: store geometry and GC knobs.
         policy: a placement policy instance (not yet bound to a store).
+        recorder: observability sink (:class:`repro.obs.ObsRecorder`);
+            defaults to the shared no-op recorder, which keeps every
+            instrumented hot path at a cached-boolean cost.
     """
 
-    def __init__(self, config: LSSConfig, policy) -> None:
+    def __init__(self, config: LSSConfig, policy,
+                 recorder: NullRecorder | None = None) -> None:
         self.config = config
         self.policy = policy
+        self.obs = NULL_RECORDER if recorder is None else recorder
+        self._obs_on = self.obs.enabled
 
         specs = policy.group_specs()
         if not specs:
@@ -45,6 +52,7 @@ class LogStructuredStore:
         self.mapping = np.full(config.logical_blocks, UNMAPPED,
                                dtype=np.int64)
         self.stats = StoreStats()
+        self.obs.bind_store(self)
         self.groups: list[Group] = []
         for gid, spec in enumerate(specs):
             group = Group(gid, spec, self)
@@ -66,6 +74,7 @@ class LogStructuredStore:
         self.flush_listeners: list = []
         self.reclaim_listeners: list = []
         policy.bind(self)
+        policy.attach_obs(self.obs)
 
     # ------------------------------------------------------------------
     # request processing
@@ -76,6 +85,8 @@ class LogStructuredStore:
         self.tick(ts_us)
         if op != OP_WRITE:
             self.stats.read_requests += 1
+            if self._obs_on:
+                self.obs.on_read(offset, ts_us)
             return
         self.stats.write_requests += 1
         end = offset + size
@@ -96,6 +107,8 @@ class LogStructuredStore:
         self.mapping[lba] = loc
         self.user_seq += 1
         self.stats.user_blocks_requested += 1
+        if self._obs_on:
+            self.obs.on_user_write(lba, now_us)
         if self.gc.needed():
             self.gc.run(now_us)
 
@@ -140,6 +153,8 @@ class LogStructuredStore:
         now = self.now_us + self.config.coalesce_window_us
         for group in self.groups:
             group.force_flush(now)
+        if self._obs_on:
+            self.obs.on_finalize(self.stats)
 
     # ------------------------------------------------------------------
     # hooks and introspection

@@ -1,0 +1,70 @@
+"""Observability: metrics, event tracing and exporters for the simulator.
+
+The package has three layers:
+
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  collected in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.events` — a typed event tracer with an in-memory ring
+  buffer and optional JSONL spill;
+* :mod:`repro.obs.recorder` — the hook surface the simulator calls.  Every
+  instrumented hot path holds a recorder; the default
+  :data:`~repro.obs.recorder.NULL_RECORDER` makes each hook a no-op, so
+  instrumentation costs nothing unless an :class:`ObsRecorder` is attached.
+
+Exporters (:mod:`repro.obs.exporters`) turn a recorder into artifacts: a
+JSONL event log, a CSV time-series of headline metrics, and a Prometheus
+text-format snapshot.
+"""
+
+from repro.obs.events import (
+    EV_CHUNK_FLUSH,
+    EV_DEMOTION,
+    EV_GC_PASS,
+    EV_LAZY_APPEND,
+    EV_PADDING,
+    EV_SHADOW_APPEND,
+    EV_THRESHOLD_SWITCH,
+    EV_USER_WRITE,
+    EVENT_TYPES,
+    Event,
+    EventTracer,
+)
+from repro.obs.exporters import (
+    prometheus_text,
+    write_events_jsonl,
+    write_prometheus,
+    write_timeseries_csv,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    SERIES_COLUMNS,
+    NullRecorder,
+    ObsRecorder,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Event",
+    "EventTracer",
+    "EVENT_TYPES",
+    "EV_USER_WRITE",
+    "EV_CHUNK_FLUSH",
+    "EV_PADDING",
+    "EV_SHADOW_APPEND",
+    "EV_LAZY_APPEND",
+    "EV_GC_PASS",
+    "EV_DEMOTION",
+    "EV_THRESHOLD_SWITCH",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "ObsRecorder",
+    "SERIES_COLUMNS",
+    "prometheus_text",
+    "write_events_jsonl",
+    "write_prometheus",
+    "write_timeseries_csv",
+]

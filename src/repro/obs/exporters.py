@@ -1,0 +1,86 @@
+"""Exporters: turn a recorder into on-disk artifacts.
+
+Three formats, one per consumer:
+
+* **JSONL event log** — one JSON object per traced event, for replaying a
+  run's timeline in a notebook or diffing two runs' behaviour.
+* **CSV time-series** — the sampled WA/padding/GC trajectory (columns in
+  :data:`repro.obs.recorder.SERIES_COLUMNS`); the final row is exact, not
+  sampled, and matches :class:`StoreStats` to the bit.
+* **Prometheus text format** — a scrape-shaped snapshot of the metrics
+  registry, so counters and histograms drop straight into existing
+  dashboards.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.recorder import SERIES_COLUMNS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import EventTracer
+    from repro.obs.recorder import ObsRecorder
+
+
+def write_events_jsonl(tracer: "EventTracer", path: str) -> int:
+    """Write the tracer's events to ``path`` as JSON Lines.
+
+    If the tracer spills to this same path, the buffered remainder is
+    appended (completing the file); otherwise the in-memory events are
+    written fresh.  Returns the number of events the file gained.
+    """
+    if tracer.spill_path == path:
+        written = tracer.spill()
+        if not os.path.exists(path):  # zero-event run still yields a file
+            open(path, "w", encoding="utf-8").close()
+        return written
+    events = tracer.events
+    with open(path, "w", encoding="utf-8") as f:
+        for ev in events:
+            f.write(json.dumps(ev.to_json_dict(),
+                               separators=(",", ":")) + "\n")
+    return len(events)
+
+
+def write_timeseries_csv(recorder: "ObsRecorder", path: str) -> int:
+    """Write the sampled time-series as CSV; returns the row count."""
+    with open(path, "w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(SERIES_COLUMNS)
+        writer.writerows(recorder.series)
+    return len(recorder.series)
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers render bare, floats via repr."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for m in registry:
+        if m.help:
+            lines.append(f"# HELP {m.name} {m.help}")
+        lines.append(f"# TYPE {m.name} {m.kind}")
+        if isinstance(m, (Counter, Gauge)):
+            lines.append(f"{m.name} {_fmt(m.value)}")
+            continue
+        cumulative = m.cumulative()
+        for edge, count in zip(m.edges, cumulative):
+            lines.append(f'{m.name}_bucket{{le="{_fmt(edge)}"}} {int(count)}')
+        lines.append(f'{m.name}_bucket{{le="+Inf"}} {int(cumulative[-1])}')
+        lines.append(f"{m.name}_sum {_fmt(m.sum)}")
+        lines.append(f"{m.name}_count {int(cumulative[-1])}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(prometheus_text(registry))

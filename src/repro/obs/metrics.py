@@ -1,0 +1,151 @@
+"""Metric primitives: counters, gauges and fixed-bucket histograms.
+
+All three are plain-attribute objects on the hot path (``c.value += n`` is
+one attribute store); histograms keep their bucket counts in a NumPy int64
+array and bin with :func:`numpy.searchsorted`.  The registry is an ordered
+name -> metric map with get-or-create accessors, a picklable
+:meth:`~MetricsRegistry.snapshot`, and enough structure for the Prometheus
+exporter to render every metric type faithfully.
+
+Naming follows Prometheus conventions: snake_case, counters end in
+``_total``.  Nothing enforces the suffix, but the simulator's built-in
+instrumentation sticks to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+#: Default histogram bucket edges for block-count distributions (chunk fill
+#: levels, padding sizes, GC victim validity) — powers of two up to a
+#: segment's worth of blocks.
+BLOCK_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "help", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (less-or-equal)
+    semantics: bucket ``i`` counts observations ``<= edges[i]``; one extra
+    overflow bucket catches everything beyond the last edge (``+Inf``)."""
+
+    __slots__ = ("name", "help", "edges", "counts", "sum")
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: Sequence[float],
+                 help: str = "") -> None:
+        edges = np.asarray(sorted(set(float(b) for b in buckets)),
+                           dtype=np.float64)
+        if edges.size == 0:
+            raise ConfigError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self.help = help
+        self.edges = edges
+        self.counts = np.zeros(edges.size + 1, dtype=np.int64)
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        idx = int(np.searchsorted(self.edges, value, side="left"))
+        self.counts[idx] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def cumulative(self) -> np.ndarray:
+        """Cumulative bucket counts, Prometheus style (last entry == total
+        observation count, the ``+Inf`` bucket)."""
+        return np.cumsum(self.counts)
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls, *args, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = BLOCK_BUCKETS,
+                  help: str = "") -> Histogram:
+        return self._get_or_create(name, Histogram, buckets, help)
+
+    def __iter__(self) -> Iterable[Counter | Gauge | Histogram]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """Picklable plain-python view of every metric (used by the
+        experiment runner to ship metrics across process boundaries)."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for m in self._metrics.values():
+            if isinstance(m, Counter):
+                counters[m.name] = m.value
+            elif isinstance(m, Gauge):
+                gauges[m.name] = m.value
+            else:
+                histograms[m.name] = {
+                    "edges": [float(e) for e in m.edges],
+                    "counts": [int(c) for c in m.counts],
+                    "sum": float(m.sum),
+                    "count": m.count,
+                }
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}

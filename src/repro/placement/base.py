@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.lss.config import LSSConfig
 from repro.lss.group import Group, GroupSpec
+from repro.obs.recorder import NULL_RECORDER, NullRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lss.store import LogStructuredStore
@@ -31,6 +32,7 @@ class PlacementPolicy:
     def __init__(self, config: LSSConfig) -> None:
         self.config = config
         self.store: "LogStructuredStore | None" = None
+        self.obs: NullRecorder = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # required interface
@@ -56,6 +58,12 @@ class PlacementPolicy:
     # ------------------------------------------------------------------
     def bind(self, store: "LogStructuredStore") -> None:
         self.store = store
+
+    def attach_obs(self, obs: NullRecorder) -> None:
+        """Receive the store's observability recorder (called right after
+        :meth:`bind`).  Policies with instrumented sub-components override
+        this to propagate the recorder."""
+        self.obs = obs
 
     def before_padding_flush(self, group: Group, now_us: int) -> bool:
         """Last chance to avert an SLA padding flush for ``group``.

@@ -96,14 +96,16 @@ class PrototypeResult:
 
 
 def _traffic_profile(scheme: str, cfg: PrototypeConfig,
-                     store_config: LSSConfig | None = None):
+                     store_config: LSSConfig | None = None,
+                     recorder=None):
     """Stage 1: run the real simulator to get WA and parity overhead."""
     store_config = store_config or LSSConfig(
         logical_blocks=cfg.unique_blocks,
         segment_blocks=default_segment_blocks(cfg.unique_blocks),
         raid=cfg.raid, seed=cfg.seed)
     store = LogStructuredStore(store_config,
-                               make_policy(scheme, store_config))
+                               make_policy(scheme, store_config),
+                               recorder=recorder)
     trace = generate_ycsb_a(cfg.unique_blocks, cfg.num_writes,
                             zipf_alpha=cfg.zipf_alpha,
                             density=cfg.inter_arrival_us,
@@ -113,8 +115,14 @@ def _traffic_profile(scheme: str, cfg: PrototypeConfig,
 
 
 def run_prototype(scheme: str, clients: int, cfg: PrototypeConfig | None = None,
-                  _profile_cache: dict | None = None) -> PrototypeResult:
-    """Run the prototype for one scheme and client count."""
+                  _profile_cache: dict | None = None,
+                  recorder=None) -> PrototypeResult:
+    """Run the prototype for one scheme and client count.
+
+    ``recorder`` (an :class:`repro.obs.ObsRecorder`) instruments the
+    stage-1 traffic-profile replay; it is only consulted on a profile-cache
+    miss, matching the once-per-scheme replay semantics.
+    """
     if clients < 1:
         raise ConfigError("clients must be >= 1")
     cfg = cfg or PrototypeConfig()
@@ -122,7 +130,7 @@ def run_prototype(scheme: str, clients: int, cfg: PrototypeConfig | None = None,
     if _profile_cache is not None and key in _profile_cache:
         wa, parity, _ = _profile_cache[key]
     else:
-        wa, parity, store = _traffic_profile(scheme, cfg)
+        wa, parity, store = _traffic_profile(scheme, cfg, recorder=recorder)
         if _profile_cache is not None:
             _profile_cache[key] = (wa, parity, None)
 

@@ -14,7 +14,6 @@ from repro.common.errors import ConfigError
 from repro.lss.config import LSSConfig
 from repro.lss.store import LogStructuredStore
 from repro.placement.registry import make_policy
-from repro.placement.sepgc import SepGCPolicy
 
 from tests.conftest import make_write_trace
 

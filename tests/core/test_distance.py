@@ -1,7 +1,6 @@
 """Reuse-interval tracker vs a naive reference implementation."""
 
 import numpy as np
-import pytest
 
 from repro.core.distance import DistanceTracker
 

@@ -33,3 +33,32 @@ def test_extension_commands_listed(capsys):
     main(["list"])
     out = capsys.readouterr().out
     assert "multistream" in out and "shared-store" in out
+    assert "obs" in out
+
+
+def test_obs_command_writes_artifacts(capsys, tmp_path):
+    out_dir = tmp_path / "obs"
+    assert main(["obs", "--scheme", "sepbit", "--scale", "smoke",
+                 "--out", str(out_dir), "--sample-every", "512"]) == 0
+    out = capsys.readouterr().out
+    assert "chunk_flush" in out
+    events = out_dir / "ali-000.events.jsonl"
+    series = out_dir / "ali-000.timeseries.csv"
+    prom = out_dir / "ali-000.prom"
+    for path in (events, series, prom):
+        assert path.exists() and path.stat().st_size > 0
+    first = events.read_text().splitlines()[0]
+    assert '"type"' in first
+    assert series.read_text().splitlines()[0].startswith("time_us,")
+    assert "lss_user_blocks_total" in prom.read_text()
+
+
+def test_replay_metrics_out(capsys, tmp_path):
+    out_dir = tmp_path / "metrics"
+    assert main(["replay", "--scheme", "sepgc", "--volumes", "1",
+                 "--scale", "smoke", "--metrics-out", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "metrics written" in out
+    assert (out_dir / "ali-000.events.jsonl").exists()
+    assert (out_dir / "ali-000.timeseries.csv").exists()
+    assert (out_dir / "ali-000.prom").exists()

@@ -41,6 +41,20 @@ def test_empty_stats_are_zero():
     assert st.gc_traffic_ratio() == 0.0
 
 
+def test_summary_includes_request_and_gc_counters():
+    st = make_stats()
+    st.read_requests = 7
+    st.write_requests = 11
+    st.gc_passes = 3
+    s = st.summary()
+    assert s["read_requests"] == 7.0
+    assert s["write_requests"] == 11.0
+    assert s["gc_passes"] == 3.0
+    # Pre-existing keys stay intact for report tables.
+    assert s["write_amplification"] == 2.0
+    assert s["user_blocks_requested"] == 100.0
+
+
 def test_group_padding_fraction():
     g = GroupTraffic("g", "user", user_blocks=3, padding_blocks=1)
     assert g.padding_fraction() == 0.25

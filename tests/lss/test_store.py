@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.array.coalescing import FlushReason
 from repro.lss.store import UNMAPPED, LogStructuredStore
 from repro.placement.sepgc import SepGCPolicy
 from repro.trace.model import OP_READ, OP_WRITE, Trace

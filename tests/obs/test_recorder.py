@@ -1,0 +1,124 @@
+"""Recorder wired through a real replay: the acceptance-criteria tests.
+
+One sparse Zipfian replay under ADAPT exercises every instrumented path:
+padding flushes, GC passes, shadow/lazy appends, threshold adaptation and
+proactive demotion.
+"""
+
+import pickle
+
+import pytest
+
+from repro.lss.config import LSSConfig
+from repro.lss.store import LogStructuredStore
+from repro.obs.events import (
+    EV_CHUNK_FLUSH,
+    EV_GC_PASS,
+    EV_LAZY_APPEND,
+    EV_PADDING,
+    EV_SHADOW_APPEND,
+    EV_THRESHOLD_SWITCH,
+)
+from repro.obs.recorder import NULL_RECORDER, ObsRecorder, SERIES_COLUMNS
+from repro.placement.registry import make_policy
+from repro.trace.synthetic.ycsb import DensityPreset, generate_ycsb_a
+
+
+def sparse_trace():
+    return generate_ycsb_a(4096, 20_000, zipf_alpha=0.99,
+                           density=DensityPreset.LIGHT, read_ratio=0.0,
+                           seed=11)
+
+
+def replay(recorder=None, scheme="adapt"):
+    cfg = LSSConfig(logical_blocks=4096, segment_blocks=64)
+    store = LogStructuredStore(cfg, make_policy(scheme, cfg),
+                               recorder=recorder)
+    stats = store.replay(sparse_trace())
+    return store, stats
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    rec = ObsRecorder(sample_every_blocks=512)
+    _, stats = replay(rec)
+    return rec, stats
+
+
+def test_required_events_present(recorded):
+    rec, _ = recorded
+    counts = rec.tracer.counts
+    for ev in (EV_CHUNK_FLUSH, EV_GC_PASS, EV_PADDING):
+        assert counts.get(ev, 0) > 0, f"missing {ev} events"
+
+
+def test_adapt_mechanism_events_present(recorded):
+    rec, stats = recorded
+    counts = rec.tracer.counts
+    if stats.shadow_blocks_written:
+        assert counts.get(EV_SHADOW_APPEND, 0) > 0
+        assert counts.get(EV_LAZY_APPEND, 0) > 0
+    assert counts.get(EV_THRESHOLD_SWITCH, 0) > 0
+
+
+def test_counters_match_store_stats(recorded):
+    rec, stats = recorded
+    snap = rec.snapshot()
+    c = snap["counters"]
+    assert c["lss_user_blocks_total"] == stats.user_blocks_requested
+    assert c["lss_padding_blocks_total"] == stats.padding_blocks_written
+    assert c["lss_gc_passes_total"] == stats.gc_passes
+    assert c["lss_gc_blocks_migrated_total"] == stats.gc_blocks_migrated
+    assert c["lss_shadow_append_blocks_total"] == \
+        stats.shadow_blocks_written
+    flushes = (c["lss_chunk_flushes_full_total"]
+               + c["lss_chunk_flushes_deadline_total"]
+               + c["lss_chunk_flushes_forced_total"])
+    assert flushes == sum(g.chunk_flushes for g in stats.groups)
+
+
+def test_final_series_row_is_exact(recorded):
+    rec, stats = recorded
+    final = dict(zip(SERIES_COLUMNS, rec.series[-1]))
+    assert final["write_amplification"] == \
+        pytest.approx(stats.write_amplification(), abs=1e-9)
+    assert final["user_blocks"] == stats.user_blocks_requested
+    assert final["flash_blocks"] == stats.flash_blocks_written
+    assert final["padding_blocks"] == stats.padding_blocks_written
+
+
+def test_series_is_monotone(recorded):
+    rec, _ = recorded
+    users = [row[1] for row in rec.series]
+    assert users == sorted(users)
+    assert len(rec.series) >= 2
+
+
+def test_snapshot_pickles(recorded):
+    rec, _ = recorded
+    snap = pickle.loads(pickle.dumps(rec.snapshot()))
+    assert snap["final"]["write_amplification"] > 1.0
+    assert snap["events"][EV_CHUNK_FLUSH] > 0
+
+
+def test_instrumentation_does_not_change_results():
+    """The recorder observes; it must never perturb the simulation."""
+    _, base = replay(recorder=None)
+    _, observed = replay(recorder=ObsRecorder(sample_every_blocks=256))
+    assert observed.write_amplification() == base.write_amplification()
+    assert observed.flash_blocks_written == base.flash_blocks_written
+    assert observed.gc_passes == base.gc_passes
+
+
+def test_null_recorder_is_default_and_inert():
+    store, _ = replay(recorder=None)
+    assert store.obs is NULL_RECORDER
+    assert store._obs_on is False
+    assert NULL_RECORDER.snapshot() is None
+
+
+def test_demotion_event_fires_when_demotions_happen(recorded):
+    rec, _ = recorded
+    snap = rec.snapshot()
+    demotions = snap["counters"]["lss_demotions_total"]
+    assert demotions == rec.tracer.counts.get("demotion", 0)

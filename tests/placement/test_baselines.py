@@ -110,7 +110,6 @@ def test_warcip_short_intervals_cluster_low(small_config):
     pol = WarcipPolicy(small_config, num_clusters=5)
     store = bind(pol, small_config)
     # Rapid rewrites of one block: intervals of ~1 block => hottest cluster.
-    groups = []
     for i in range(20):
         store.process_request(i * 10, 1, 3, 1)
     g = pol.place_user(3, 999)

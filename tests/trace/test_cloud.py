@@ -8,7 +8,6 @@ from repro.trace.model import OP_WRITE
 from repro.trace.stats import compute_stats, write_size_distribution
 from repro.trace.synthetic.cloud import (
     ALI,
-    MSRC,
     TENCENT,
     CloudProfile,
     VolumeSpec,
