@@ -133,6 +133,26 @@ def _cmd_replay(args) -> str:
     return table
 
 
+def _cmd_validate(args) -> tuple[str, bool]:
+    """Differential sweep: every requested policy vs the dict-based oracle.
+
+    Returns the rendered report and whether every cell matched.
+    """
+    from repro.validate.differential import (default_workloads,
+                                             render_report,
+                                             run_differential)
+    policies = args.policies.split(",") if args.policies else None
+    requests = 600 if args.scale == "smoke" else 1200
+    workloads = default_workloads(num_requests=requests, seed=args.seed)
+    report = run_differential(policies=policies, workloads=workloads,
+                              victim=args.victim, seed=args.seed)
+    out = render_report(report)
+    if not report.ok:
+        out += (f"\nVALIDATION FAILED: {len(report.failures)} cell(s) "
+                f"diverged from the oracle")
+    return out, report.ok
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -218,13 +238,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-every", type=_positive_int, default=1024,
                    metavar="BLOCKS",
                    help="time-series sampling period in user blocks")
+
+    p = sub.add_parser("validate",
+                       help="differential sweep: fast store vs the "
+                            "dict-based oracle for every placement policy")
+    p.add_argument("--policies", default=None, metavar="A,B,...",
+                   help="comma-separated policy names "
+                        "(default: all registered)")
+    p.add_argument("--victim", default="greedy",
+                   choices=["greedy", "cost-benefit"],
+                   help="victim policy (the oracle supports only the "
+                        "deterministic ones)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "default"])
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        print("experiments:", ", ".join(sorted(_FIGS)), "+ replay, obs")
+        print("experiments:", ", ".join(sorted(_FIGS)),
+              "+ replay, obs, validate")
         return 0
     if args.command == "replay":
         print(_cmd_replay(args))
@@ -232,6 +267,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "obs":
         print(_cmd_obs(args))
         return 0
+    if args.command == "validate":
+        out, ok = _cmd_validate(args)
+        print(out)
+        return 0 if ok else 1
     print(_FIGS[args.command](args))
     return 0
 

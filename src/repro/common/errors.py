@@ -21,3 +21,22 @@ class CapacityError(ReproError):
     This indicates a configuration problem (over-provisioning too small for
     the garbage-collection watermarks), never a normal runtime condition.
     """
+
+
+class ValidationError(ReproError):
+    """Raised when the validation harness (``repro.validate``) cannot run a
+    requested comparison — e.g. the oracle does not support a stochastic
+    victim policy deterministically."""
+
+
+class InvariantViolation(ReproError):
+    """A cross-structure consistency invariant of the store was violated.
+
+    Raised by :class:`repro.validate.InvariantAuditor`; carries the name of
+    the violated invariant so tests and operators can tell *which* law broke.
+    """
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+        self.invariant = invariant
+        self.detail = detail

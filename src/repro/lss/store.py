@@ -33,14 +33,20 @@ class LogStructuredStore:
         recorder: observability sink (:class:`repro.obs.ObsRecorder`);
             defaults to the shared no-op recorder, which keeps every
             instrumented hot path at a cached-boolean cost.
+        auditor: optional :class:`repro.validate.InvariantAuditor`; when
+            set, the store notifies it after every accepted user block and
+            at finalize so cross-structure invariants are checked on a
+            cadence while the replay is in flight.
     """
 
     def __init__(self, config: LSSConfig, policy,
-                 recorder: NullRecorder | None = None) -> None:
+                 recorder: NullRecorder | None = None,
+                 auditor=None) -> None:
         self.config = config
         self.policy = policy
         self.obs = NULL_RECORDER if recorder is None else recorder
         self._obs_on = self.obs.enabled
+        self._auditor = auditor
 
         specs = policy.group_specs()
         if not specs:
@@ -75,6 +81,8 @@ class LogStructuredStore:
         self.reclaim_listeners: list = []
         policy.bind(self)
         policy.attach_obs(self.obs)
+        if auditor is not None:
+            auditor.attach(self)
 
     # ------------------------------------------------------------------
     # request processing
@@ -111,6 +119,8 @@ class LogStructuredStore:
             self.obs.on_user_write(lba, now_us)
         if self.gc.needed():
             self.gc.run(now_us)
+        if self._auditor is not None:
+            self._auditor.on_user_write(self)
 
     def read_block(self, lba: int) -> bool:
         """Return whether ``lba`` has ever been written (reads do not touch
@@ -155,6 +165,8 @@ class LogStructuredStore:
             group.force_flush(now)
         if self._obs_on:
             self.obs.on_finalize(self.stats)
+        if self._auditor is not None:
+            self._auditor.on_finalize(self)
 
     # ------------------------------------------------------------------
     # hooks and introspection

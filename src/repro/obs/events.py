@@ -30,10 +30,12 @@ EV_LAZY_APPEND = "lazy_append"
 EV_GC_PASS = "gc_pass"
 EV_DEMOTION = "demotion"
 EV_THRESHOLD_SWITCH = "threshold_switch"
+EV_AUDIT_VIOLATION = "audit_violation"
 
 EVENT_TYPES: tuple[str, ...] = (
     EV_USER_WRITE, EV_CHUNK_FLUSH, EV_PADDING, EV_SHADOW_APPEND,
     EV_LAZY_APPEND, EV_GC_PASS, EV_DEMOTION, EV_THRESHOLD_SWITCH,
+    EV_AUDIT_VIOLATION,
 )
 
 

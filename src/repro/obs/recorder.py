@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs.events import (
+    EV_AUDIT_VIOLATION,
     EV_CHUNK_FLUSH,
     EV_DEMOTION,
     EV_GC_PASS,
@@ -86,6 +87,10 @@ class NullRecorder:
     def on_threshold_switch(self, threshold: float, mode: str, rounds: int,
                             now_us: int) -> None:
         """The threshold ladder closed an adaptation round (§3.2)."""
+
+    def on_audit_violation(self, invariant: str, detail: str,
+                           now_us: int) -> None:
+        """An :class:`~repro.validate.InvariantAuditor` check failed."""
 
     # -- generic escape hatches -----------------------------------------
     def gauge(self, name: str, value: float) -> None:
@@ -163,6 +168,8 @@ class ObsRecorder(NullRecorder):
             "lss_demotions_total", "user writes routed by proactive demotion")
         self._threshold_switches = reg.counter(
             "lss_threshold_switches_total", "threshold adaptation rounds")
+        self._audit_violations = reg.counter(
+            "lss_audit_violations_total", "invariant audit failures")
         self._h_fill = reg.histogram(
             "lss_chunk_fill_blocks", BLOCK_BUCKETS,
             "data blocks per flushed chunk")
@@ -262,6 +269,12 @@ class ObsRecorder(NullRecorder):
                             "ghost-side winning threshold").set(threshold)
         self.tracer.emit(EV_THRESHOLD_SWITCH, now_us, threshold=threshold,
                          mode=mode, rounds=rounds)
+
+    def on_audit_violation(self, invariant: str, detail: str,
+                           now_us: int) -> None:
+        self._audit_violations.value += 1
+        self.tracer.emit(EV_AUDIT_VIOLATION, now_us, invariant=invariant,
+                         detail=detail)
 
     # ------------------------------------------------------------------
     # generic escape hatches

@@ -1,0 +1,70 @@
+"""Seed determinism: identical seed => byte-identical results.
+
+For every synthetic generator x every registered placement policy, two
+fully independent runs (trace regenerated, fresh policy, fresh store) must
+produce byte-identical serialized statistics.  This pins down both the
+generators' RNG discipline and the simulator's freedom from hidden global
+state (dict iteration order, cached module state, ...).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lss.store import LogStructuredStore
+from repro.placement.registry import available_policies, make_policy
+from repro.validate.differential import differential_config
+
+pytestmark = pytest.mark.slow
+
+LOGICAL = 512
+REQUESTS = 600
+SEED = 21
+
+
+def generate(workload: str):
+    if workload == "ycsb-a":
+        from repro.trace.synthetic.ycsb import generate_ycsb_a
+        return generate_ycsb_a(unique_blocks=LOGICAL,
+                               num_writes=REQUESTS, seed=SEED)
+    from repro.trace.synthetic.cloud import generate_fleet
+    return generate_fleet(workload, 1, unique_blocks=LOGICAL,
+                          num_requests=REQUESTS, seed=SEED)[0]
+
+
+def run_once(workload: str, policy: str) -> str:
+    config = differential_config(logical_blocks=LOGICAL, seed=SEED)
+    store = LogStructuredStore(config, make_policy(policy, config))
+    store.replay(generate(workload))
+    blob = {
+        "summary": store.stats.summary(),
+        "groups": [[g.name, g.user_blocks, g.gc_blocks, g.shadow_blocks,
+                    g.padding_blocks, g.chunk_flushes, g.deadline_flushes,
+                    g.forced_flushes] for g in store.stats.groups],
+        "raid": [store.stats.raid.data_chunks,
+                 store.stats.raid.parity_chunks],
+        "occupancy": [int(x) for x in store.group_occupancy()],
+        "mapping_crc": int(store.mapping.sum()),
+    }
+    return json.dumps(blob, sort_keys=True)
+
+
+@pytest.mark.parametrize("workload", ["ali", "tencent", "msrc", "ycsb-a"])
+def test_identical_seed_identical_bytes(workload):
+    for policy in available_policies():
+        first = run_once(workload, policy)
+        second = run_once(workload, policy)
+        assert first == second, \
+            f"{policy} on {workload} is not seed-deterministic"
+
+
+def test_different_seed_changes_trace():
+    """Sanity: the determinism test isn't vacuous — seeds matter."""
+    from repro.trace.synthetic.cloud import generate_fleet
+    a = generate_fleet("ali", 1, unique_blocks=LOGICAL,
+                       num_requests=REQUESTS, seed=1)[0]
+    b = generate_fleet("ali", 1, unique_blocks=LOGICAL,
+                       num_requests=REQUESTS, seed=2)[0]
+    assert a.offsets.tolist() != b.offsets.tolist()

@@ -12,6 +12,9 @@ from repro.lss.recovery import verify_recovery
 from repro.lss.store import LogStructuredStore
 from repro.placement.registry import make_policy
 from repro.trace.model import Trace
+import pytest
+
+pytestmark = pytest.mark.property
 
 LOGICAL = 256
 

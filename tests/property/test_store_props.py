@@ -20,6 +20,9 @@ from repro.placement.registry import make_policy
 from repro.trace.model import Trace
 
 import numpy as np
+import pytest
+
+pytestmark = pytest.mark.property
 
 LOGICAL = 512
 

@@ -14,6 +14,9 @@ from repro.core.distance import DistanceTracker
 from repro.trace.model import Trace
 from repro.trace.parser import parse_csv
 from repro.trace.writer import write_csv
+import pytest
+
+pytestmark = pytest.mark.property
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,74 @@
+"""Property suite for the threshold ladder's grid machinery (§3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.threshold import ThresholdLadder, _is_monotone
+
+pytestmark = pytest.mark.property
+
+
+def make_ladder(num_sets: int = 5) -> ThresholdLadder:
+    return ThresholdLadder(num_sets=num_sets, segment_blocks=64,
+                           chunk_blocks=4, window_us=100,
+                           garbage_limit=0.5)
+
+
+@given(costs=st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=12))
+@settings(max_examples=300, deadline=None)
+def test_is_monotone_matches_brute_force(costs):
+    non_decreasing = all(b >= a for a, b in zip(costs, costs[1:]))
+    non_increasing = all(b <= a for a, b in zip(costs, costs[1:]))
+    assert _is_monotone(costs) == (non_decreasing or non_increasing)
+
+
+@given(center=st.floats(0.001, 1e6), num_sets=st.integers(2, 9))
+@settings(max_examples=200, deadline=None)
+def test_exponential_grid_clamped_and_sorted(center, num_sets):
+    grid = make_ladder(num_sets)._exponential_grid(center)
+    assert len(grid) == num_sets
+    assert all(t >= 1.0 for t in grid)
+    assert grid == sorted(grid)
+    # Successive unclamped entries double; clamped entries stay at 1.
+    for a, b in zip(grid, grid[1:]):
+        assert b == pytest.approx(2.0 * a) or a == 1.0
+
+
+@given(lo=st.floats(-100, 1e5), hi=st.floats(-100, 1e5),
+       num_sets=st.integers(2, 9))
+@settings(max_examples=200, deadline=None)
+def test_linear_grid_clamped_sorted_and_bounded(lo, hi, num_sets):
+    grid = make_ladder(num_sets)._linear_grid(lo, hi)
+    assert len(grid) == num_sets
+    assert all(t >= 1.0 for t in grid)
+    assert grid == sorted(grid)
+    assert grid[0] == max(1.0, lo)
+
+
+@given(seed=st.integers(0, 2**16), rounds=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_adapt_rounds_preserve_grid_invariants(seed, rounds):
+    """However the stream looks, every adaptation round yields a clamped
+    sorted grid, a winner drawn from the old grid, and a legal mode."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    ladder = make_ladder()
+    now = 0
+    for _ in range(rounds):
+        for _ in range(200):
+            now += int(rng.integers(1, 50))
+            lba = int(rng.zipf(1.5)) % 512
+            interval = float(rng.integers(1, 2000))
+            ladder.record(lba, interval, now)
+        before = [g.threshold for g in ladder.ghost_sets]
+        result = ladder.adapt()
+        assert result.best_threshold in before
+        assert result.best_cost == min(result.costs)
+        assert result.mode in ("exponential", "linear")
+        after = [g.threshold for g in ladder.ghost_sets]
+        assert all(t >= 1.0 for t in after)
+        assert after == sorted(after)
+    assert ladder.rounds == rounds

@@ -1,0 +1,51 @@
+"""The differential sweep harness itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.placement.registry import available_policies
+from repro.validate.differential import (default_workloads,
+                                         differential_config, render_report,
+                                         run_cell, run_differential)
+
+pytestmark = pytest.mark.differential
+
+
+def test_single_cell_matches_and_audits():
+    trace = default_workloads(num_requests=400)[0]
+    cell = run_cell("sepgc", trace, differential_config(), audit_every=128)
+    assert cell.ok
+    assert cell.mapping_diffs == 0 and not cell.stat_diffs
+    assert cell.audits_run > 1
+    assert cell.fast_wa == pytest.approx(cell.oracle_wa)
+
+
+def test_small_sweep_two_policies():
+    workloads = default_workloads(num_requests=400)[:2]
+    report = run_differential(policies=["adapt", "mida"],
+                              workloads=workloads)
+    assert len(report.cells) == 4
+    assert report.ok, [(c.policy, c.workload, c.mapping_diffs,
+                        c.stat_diffs) for c in report.failures]
+
+
+def test_render_report_mentions_every_cell():
+    workloads = default_workloads(num_requests=300)[:1]
+    report = run_differential(policies=["sepbit"], workloads=workloads)
+    out = render_report(report)
+    assert "sepbit" in out and "ok" in out
+    assert "all 1 cells match" in out
+
+
+@pytest.mark.slow
+def test_full_sweep_every_policy_every_workload():
+    """The acceptance sweep: all registered policies x 4 workloads, plus a
+    second pass under the cost-benefit victim for two of them."""
+    report = run_differential()
+    assert len(report.cells) == len(available_policies()) * 4
+    assert report.ok, render_report(report)
+
+    cb = run_differential(policies=["adapt", "sepbit"],
+                          victim="cost-benefit", num_requests=800)
+    assert cb.ok, render_report(cb)

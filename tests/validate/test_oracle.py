@@ -1,0 +1,73 @@
+"""The dict-based oracle: self-consistency and fast-store equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.lss.store import UNMAPPED, LogStructuredStore
+from repro.placement.registry import make_policy
+from repro.validate.differential import differential_config
+from repro.validate.oracle import ORACLE_VICTIM_POLICIES, OracleStore
+from tests.conftest import make_write_trace
+
+
+@pytest.fixture
+def config():
+    return differential_config(logical_blocks=512)
+
+
+def churn_lbas(n: int = 3000, logical: int = 512, seed: int = 5):
+    rng = np.random.default_rng(seed)
+    # Skewed overwrites so GC actually cycles on the tiny store.
+    return rng.zipf(1.3, size=n) % logical
+
+
+def test_oracle_replays_and_self_checks(config):
+    oracle = OracleStore(config, make_policy("sepgc", config))
+    oracle.replay(make_write_trace(churn_lbas()))
+    oracle.check_invariants()
+    summary = oracle.stats.summary()
+    assert summary["write_amplification"] >= 1.0
+    assert oracle.stats.gc_passes > 0, "trace too small to exercise GC"
+
+
+def test_oracle_matches_fast_store_mapping_and_stats(config):
+    trace = make_write_trace(churn_lbas())
+    fast = LogStructuredStore(config, make_policy("adapt", config))
+    fast.replay(trace)
+    oracle = OracleStore(config, make_policy("adapt", config))
+    oracle.replay(trace)
+
+    oracle_map = oracle.mapping_table()
+    for lba in range(config.logical_blocks):
+        assert int(fast.mapping[lba]) == oracle_map.get(lba, UNMAPPED)
+    assert fast.stats.summary() == oracle.stats.summary()
+    assert fast.stats.raid.data_chunks == oracle.stats.raid.data_chunks
+    assert fast.stats.raid.parity_chunks == oracle.stats.raid.parity_chunks
+    assert [int(x) for x in fast.group_occupancy()] == \
+        oracle.group_occupancy()
+
+
+def test_oracle_summary_has_same_keys_as_fast(config):
+    trace = make_write_trace(churn_lbas(500))
+    fast = LogStructuredStore(config, make_policy("dac", config))
+    fast.replay(trace)
+    oracle = OracleStore(config, make_policy("dac", config))
+    oracle.replay(trace)
+    assert set(oracle.stats.summary()) == set(fast.stats.summary())
+
+
+@pytest.mark.parametrize("victim", ORACLE_VICTIM_POLICIES)
+def test_oracle_supports_deterministic_victims(victim):
+    config = differential_config(logical_blocks=512, victim=victim)
+    oracle = OracleStore(config, make_policy("sepgc", config))
+    oracle.replay(make_write_trace(churn_lbas(1500)))
+    oracle.check_invariants()
+
+
+def test_oracle_rejects_stochastic_victim():
+    config = differential_config(logical_blocks=512, victim="d-choice")
+    with pytest.raises(ValidationError, match="d-choice"):
+        OracleStore(config, make_policy("sepgc", config))
