@@ -23,6 +23,7 @@ them) so this module stays independent of the log layer above it.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any
@@ -85,6 +86,11 @@ class CoalescingBuffer:
         self.owner_name = owner_name
         self._tokens: list[Any] = []
         self._timer_start_us: int | None = None
+        # Lazy deadline-heap support (see bind_deadline_heap): the shared
+        # min-heap of (deadline_us, owner_gid) entries and the smallest
+        # entry this buffer currently has live in it.
+        self._heap: list[tuple[int, int]] | None = None
+        self._heap_entry_us: int | None = None
 
     # ------------------------------------------------------------------
     # state
@@ -113,6 +119,45 @@ class CoalescingBuffer:
         keeps its blocks but gets a fresh aggregation timer)."""
         if self._tokens:
             self._timer_start_us = now_us
+            self._arm_heap()
+
+    # ------------------------------------------------------------------
+    # lazy deadline heap
+    # ------------------------------------------------------------------
+    def bind_deadline_heap(self, heap: list[tuple[int, int]]) -> None:
+        """Attach the store's shared deadline min-heap.
+
+        Once bound, the buffer guarantees the heap invariant the store's
+        O(log G) ``tick`` relies on: whenever this buffer has an armed SLA
+        timer, the heap holds at least one ``(d, owner_gid)`` entry with
+        ``d <= deadline_us``.  Entries are never removed here; the store
+        pops and revalidates them lazily (see ``sync_heap_entry``).
+        """
+        self._heap = heap
+        self._heap_entry_us = None
+
+    @property
+    def heap_entry_us(self) -> int | None:
+        """Deadline value of the single heap entry this buffer tracks as
+        live, or ``None``.  Entries popped at any other value are leftovers
+        from a flushed episode and must be dropped, not re-pushed."""
+        return self._heap_entry_us
+
+    def sync_heap_entry(self, entry_us: int | None) -> None:
+        """Store-side bookkeeping: the store popped this buffer's stale
+        heap entry and re-pushed ``entry_us`` (or nothing, when ``None``)."""
+        self._heap_entry_us = entry_us
+
+    def _arm_heap(self) -> None:
+        """Push a heap entry for the current deadline unless one already
+        covers it (an existing entry at or below the deadline suffices)."""
+        if self._heap is None or self.window_us is None \
+                or self._timer_start_us is None:
+            return
+        nd = self._timer_start_us + self.window_us
+        if self._heap_entry_us is None or nd < self._heap_entry_us:
+            heapq.heappush(self._heap, (nd, self.owner_gid))
+            self._heap_entry_us = nd
 
     # ------------------------------------------------------------------
     # operations
@@ -121,10 +166,87 @@ class CoalescingBuffer:
         """Add one block; return a ``FULL`` flush if the chunk filled."""
         if not self._tokens or self.sla_mode == "idle":
             self._timer_start_us = now_us
+            self._arm_heap()
         self._tokens.append(token)
         if len(self._tokens) >= self.chunk_blocks:
             return self._emit(FlushReason.FULL, now_us, pad=False)
         return None
+
+    def append_run(self, kind: int, lbas: list[int],
+                   ts_us: list[int]) -> list[ChunkFlush]:
+        """Append a run of ``(kind, lba)`` tokens at per-block times.
+
+        Exactly equivalent to calling :meth:`append` once per token —
+        returns the ``FULL`` flushes emitted, in order — but does the token
+        extension and timer updates per chunk instead of per block.  Used
+        by the batched replay engine (``repro.perf``); the caller
+        guarantees the timestamps are non-decreasing.
+        """
+        flushes: list[ChunkFlush] = []
+        tokens = self._tokens
+        cb = self.chunk_blocks
+        pos, n = 0, len(lbas)
+        while pos < n:
+            end = min(pos + cb - len(tokens), n)
+            if self.sla_mode == "idle":
+                # idle mode restarts the timer on every append, so only
+                # the last append of this chunk-portion matters.
+                self._timer_start_us = ts_us[end - 1]
+            elif not tokens:
+                # "first" mode arms the timer at the chunk's first append.
+                self._timer_start_us = ts_us[pos]
+            tokens.extend((kind, lba) for lba in lbas[pos:end])
+            if len(tokens) >= cb:
+                flushes.append(self._emit(FlushReason.FULL, ts_us[end - 1],
+                                          pad=False))
+            pos = end
+        if tokens:
+            # Episodes born and flushed inside the run never needed heap
+            # entries (no tick can interleave); arm only the survivor.
+            self._arm_heap()
+        return flushes
+
+    def append_run_counted(self, kind: int, lbas: list[int],
+                           ts_us: list[int]) -> tuple[int, int]:
+        """Append a run like :meth:`append_run` but without materializing
+        the ``FULL`` :class:`ChunkFlush` objects.
+
+        Returns ``(full_flushes, new_tokens_flushed)``; the caller owns
+        the accounting a flush object would otherwise carry (any pending
+        pre-run tokens are part of the first flush, so when
+        ``full_flushes > 0`` every pre-run token was flushed too).  Used
+        by the batched replay paths when nothing consumes the flush
+        objects; end state (tokens, timer, heap entry) is bit-identical
+        to :meth:`append_run`.
+        """
+        tokens = self._tokens
+        cb = self.chunk_blocks
+        p = len(tokens)
+        n = len(lbas)
+        nf = (p + n) // cb
+        if nf == 0:
+            if self.sla_mode == "idle":
+                self._timer_start_us = ts_us[n - 1]
+            elif not tokens:
+                self._timer_start_us = ts_us[0]
+            tokens.extend((kind, lba) for lba in lbas)
+            self._arm_heap()
+            return 0, 0
+        leftover = p + n - nf * cb
+        if leftover:
+            self._tokens = [(kind, lba) for lba in lbas[n - leftover:]]
+            # The last flush cleared the timer and the tracked heap
+            # entry; the surviving chunk re-arms exactly as the final
+            # portion of append_run would.
+            self._timer_start_us = ts_us[n - 1] \
+                if self.sla_mode == "idle" else ts_us[n - leftover]
+            self._heap_entry_us = None
+            self._arm_heap()
+        else:
+            self._tokens = []
+            self._timer_start_us = None
+            self._heap_entry_us = None
+        return nf, nf * cb - p
 
     def poll(self, now_us: int) -> ChunkFlush | None:
         """Flush with padding if the SLA deadline has passed."""
@@ -148,6 +270,7 @@ class CoalescingBuffer:
         tokens = tuple(self._tokens)
         self._tokens.clear()
         self._timer_start_us = None
+        self._heap_entry_us = None
         return tokens
 
     def _emit(self, reason: FlushReason, now_us: int, pad: bool) -> ChunkFlush:
@@ -155,6 +278,7 @@ class CoalescingBuffer:
         padding = self.chunk_blocks - len(tokens) if pad else 0
         self._tokens.clear()
         self._timer_start_us = None
+        self._heap_entry_us = None
         flush = ChunkFlush(reason=reason, tokens=tokens,
                            data_blocks=len(tokens), padding_blocks=padding,
                            time_us=now_us)

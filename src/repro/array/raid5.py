@@ -61,6 +61,23 @@ class Raid5Accounting:
         self.parity_chunks += parity
         return parity
 
+    def add_chunk_ios(self, n: int) -> int:
+        """Record ``n`` separate single-chunk write I/Os at once.
+
+        Bit-equivalent to ``n`` calls of ``add_chunks(1)`` — each one-chunk
+        I/O touches exactly one stripe, so parity grows by ``n`` and the
+        stripe walk advances ``n`` positions.  Used by the batched replay
+        paths to account a run's chunk flushes in bulk.
+        """
+        if n < 0:
+            raise ValueError(f"negative chunk count {n}")
+        if n == 0:
+            return 0
+        self.data_chunks += n
+        self.parity_chunks += n
+        self._stripe_fill = (self._stripe_fill + n) % self.config.data_columns
+        return n
+
     @property
     def total_chunks(self) -> int:
         return self.data_chunks + self.parity_chunks

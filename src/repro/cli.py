@@ -8,6 +8,8 @@ Examples::
     adapt-repro replay --scheme adapt --profile ali --volumes 3
     adapt-repro replay --scheme adapt --metrics-out out/
     adapt-repro obs --scheme adapt --out obs-out/
+    adapt-repro bench --scale default
+    REPRO_SCALE=smoke adapt-repro bench --check
 """
 
 from __future__ import annotations
@@ -145,7 +147,8 @@ def _cmd_validate(args) -> tuple[str, bool]:
     requests = 600 if args.scale == "smoke" else 1200
     workloads = default_workloads(num_requests=requests, seed=args.seed)
     report = run_differential(policies=policies, workloads=workloads,
-                              victim=args.victim, seed=args.seed)
+                              victim=args.victim, seed=args.seed,
+                              engine=args.engine)
     out = render_report(report)
     if not report.ok:
         out += (f"\nVALIDATION FAILED: {len(report.failures)} cell(s) "
@@ -187,6 +190,48 @@ def _cmd_obs(args) -> str:
               f"padding={result.padding_ratio:.3f} "
               f"gc={result.gc_ratio:.3f}")
     return table + "\nartifacts:\n" + "\n".join(f"  {p}" for p in written)
+
+
+def _cmd_bench(args) -> tuple[str, bool]:
+    """Throughput bench + snapshot + optional regression gate.
+
+    Returns the rendered report and whether the gate passed (always
+    True without ``--check``).
+    """
+    from repro.perf import tracecache
+    from repro.perf.bench import (compare_bench, find_previous_bench,
+                                  render_bench, run_bench, write_bench)
+    if args.no_trace_cache:
+        tracecache.set_enabled(False)
+    if args.scale:
+        scale = _get_scale(args.scale)
+    else:
+        scale = scale_mod.current_scale("default")
+    policies = args.policies.split(",") if args.policies else None
+    engines = tuple(args.engines.split(","))
+    result = run_bench(scale, policies=policies, engines=engines,
+                       repeats=args.repeats, seed=args.seed)
+    path = write_bench(result, args.out)
+    baseline_path = args.baseline or find_previous_bench(
+        args.out, exclude=path)
+    regressions: list | None = None
+    if baseline_path:
+        import json
+        try:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as exc:
+            return (f"cannot read baseline {baseline_path}: {exc}",
+                    not args.check)
+        regressions = compare_bench(result, baseline,
+                                    threshold=args.threshold)
+    out = render_bench(result, regressions, baseline_path)
+    out += f"\nsnapshot written: {path}"
+    ok = not (args.check and regressions)
+    if not ok:
+        out += (f"\nBENCH FAILED: {len(regressions)} cell(s) regressed "
+                f"more than {args.threshold * 100:.0f}%")
+    return out, ok
 
 
 _FIGS = {
@@ -252,6 +297,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--scale", default="smoke",
                    choices=["smoke", "default"])
+    p.add_argument("--engine", default="batched",
+                   choices=["batched", "scalar", "auto"],
+                   help="replay engine driving the fast store "
+                        "(default: batched, so the sweep also proves "
+                        "engine equivalence)")
+
+    p = sub.add_parser("bench",
+                       help="measure replay throughput per policy x "
+                            "workload x engine; write BENCH_<date>.json")
+    p.add_argument("--scale", default=None,
+                   choices=["smoke", "default", "paper"],
+                   help="workload scale (default: $REPRO_SCALE or "
+                        "'default')")
+    p.add_argument("--policies", default=None, metavar="A,B,...",
+                   help="comma-separated policy names "
+                        "(default: all registered)")
+    p.add_argument("--engines", default="scalar,batched",
+                   metavar="E,E", help="engines to time "
+                                       "(default: scalar,batched)")
+    p.add_argument("--repeats", type=_positive_int, default=2,
+                   help="replays per cell; best run is kept (default: 2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=".", metavar="DIR",
+                   help="snapshot directory (default: repo root)")
+    p.add_argument("--baseline", default=None, metavar="JSON",
+                   help="snapshot to diff against (default: newest "
+                        "other BENCH_*.json in --out)")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="fractional throughput drop that counts as a "
+                        "regression (default: 0.25)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero when any cell regresses beyond "
+                        "the threshold")
+    p.add_argument("--no-trace-cache", action="store_true",
+                   help="bypass the on-disk synthetic-trace cache")
     return parser
 
 
@@ -259,7 +339,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print("experiments:", ", ".join(sorted(_FIGS)),
-              "+ replay, obs, validate")
+              "+ replay, obs, validate, bench")
         return 0
     if args.command == "replay":
         print(_cmd_replay(args))
@@ -269,6 +349,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "validate":
         out, ok = _cmd_validate(args)
+        print(out)
+        return 0 if ok else 1
+    if args.command == "bench":
+        out, ok = _cmd_bench(args)
         print(out)
         return 0 if ok else 1
     print(_FIGS[args.command](args))

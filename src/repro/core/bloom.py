@@ -26,6 +26,15 @@ def _mix64(x: int) -> int:
     return x ^ (x >> 31)
 
 
+def _mix64_batch(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_mix64` over a uint64 array (wrapping multiply)."""
+    x = x.astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(_MIX1)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(_MIX2)
+    return x ^ (x >> np.uint64(31))
+
+
 class BloomFilter:
     """Classic bloom filter over int keys with double hashing.
 

@@ -25,6 +25,7 @@ from repro.core.distance import DistanceTracker
 from repro.core.sampling import SpatialSampler
 from repro.core.threshold import AdaptationResult, ThresholdLadder
 from repro.lss.config import LSSConfig
+from repro.perf.batch import duplicate_chains
 from repro.lss.group import APPEND_SHADOW, Group, GroupKind, GroupSpec
 from repro.placement.base import PlacementPolicy
 from repro.placement.registry import register
@@ -115,6 +116,13 @@ class AdaptPolicy(PlacementPolicy):
                   for i in range(self.adapt_config.num_gc_groups)]
         return specs
 
+    def user_placement_gids(self) -> range | tuple[int, ...]:
+        # Proactive demotion routes cold user blocks straight into GC
+        # groups, so with it enabled every group is user-placeable.
+        if self.demotion is not None:
+            return range(2 + self.adapt_config.num_gc_groups)
+        return (self.HOT, self.COLD)
+
     # ------------------------------------------------------------------
     # user-write path
     # ------------------------------------------------------------------
@@ -147,6 +155,88 @@ class AdaptPolicy(PlacementPolicy):
             if target is not None:
                 return target
         return self.COLD
+
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        """Hybrid batch placement: vectorized spans split at sampled blocks.
+
+        Only sampled blocks feed the adaptive pipeline (rho, ghost ladder,
+        threshold) — i.e. only they can change state that later blocks in
+        the batch observe.  So the batch is cut at every sampled LBA: the
+        sampled block goes through the exact scalar :meth:`place_user`,
+        the spans in between through :meth:`_place_user_span` (which holds
+        ``threshold``/``rho`` constant, provably unchanged there).  With a
+        10 % sample rate the spans carry ~90 % of the blocks.
+        """
+        n = int(lbas.shape[0])
+        out = np.empty(n, dtype=np.int64)
+        prev, last_mask = duplicate_chains(lbas)
+        if self.ladder is not None:
+            cuts = np.flatnonzero(self.sampler.is_sampled_batch(lbas))
+        else:
+            cuts = np.empty(0, dtype=np.int64)
+        store = self.store
+        saved = store.user_seq
+        try:
+            pos, ci, ncuts = 0, 0, int(cuts.shape[0])
+            while pos < n:
+                if ci < ncuts and int(cuts[ci]) == pos:
+                    # Sampled block: exact scalar path.  Duplicates must
+                    # see their in-batch predecessor's write time, which
+                    # the spans defer to the last occurrence — poke it in.
+                    lba = int(lbas[pos])
+                    if prev[pos] >= 0:
+                        self._last_user_write[lba] = \
+                            start_seq + int(prev[pos])
+                    store.user_seq = start_seq + pos
+                    out[pos] = self.place_user(lba, int(ts_us[pos]))
+                    pos += 1
+                    ci += 1
+                    continue
+                end = int(cuts[ci]) if ci < ncuts else n
+                self._place_user_span(
+                    lbas[pos:end], ts_us[pos:end], prev[pos:end],
+                    last_mask[pos:end], start_seq, start_seq + pos,
+                    out[pos:end])
+                pos = end
+        finally:
+            store.user_seq = saved
+        return out
+
+    def _place_user_span(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         prev: np.ndarray, last_mask: np.ndarray,
+                         batch_seq0: int, now0: int,
+                         out: np.ndarray) -> None:
+        """Vectorized :meth:`place_user` for a sample-free span.
+
+        ``prev`` holds full-batch indices (offset by ``batch_seq0``);
+        ``now0`` is the logical clock of the span's first block.
+        """
+        m = int(lbas.shape[0])
+        now = now0 + np.arange(m, dtype=np.int64)
+        last = self._last_user_write[lbas]
+        dup = prev >= 0
+        last[dup] = batch_seq0 + prev[dup]
+        first = last < 0
+        v = np.empty(m, dtype=np.float64)
+        seen = ~first
+        v[seen] = (now[seen] - last[seen]).astype(np.float64)
+        nfirst = int(first.sum())
+        if nfirst:
+            # k-th first-write sees _unique_seen + k, scaled by rho.
+            v[first] = (self._unique_seen
+                        + np.cumsum(first)[first]) * self._rho
+            self._unique_seen += nfirst
+        hot = v < self.threshold
+        out[hot] = self.HOT
+        if self.demotion is None:
+            out[~hot] = self.COLD
+        else:
+            for i in np.flatnonzero(~hot).tolist():
+                target = self.demotion.demotion_target(int(lbas[i]),
+                                                       int(ts_us[i]))
+                out[i] = self.COLD if target is None else target
+        self._last_user_write[lbas[last_mask]] = now[last_mask]
 
     def _observe_sample(self, lba: int, last_seq: int, now_seq: int,
                         now_us: int) -> None:
@@ -195,6 +285,20 @@ class AdaptPolicy(PlacementPolicy):
                 return self.GC_BASE + cls
             bound *= 4
         return self.GC_BASE + self.adapt_config.num_gc_groups - 1
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        # _lifespan only moves in on_segment_reclaimed, after the whole
+        # victim is migrated: the age ladder is constant here, and the
+        # class is how many geometric boundaries the age clears.
+        last = self._last_user_write[lbas]
+        age = np.where(last >= 0, self.user_seq - last, self.user_seq)
+        cls = np.zeros(int(lbas.shape[0]), dtype=np.int64)
+        bound = self._lifespan * 4
+        for _ in range(self.adapt_config.num_gc_groups - 1):
+            cls += age >= bound
+            bound *= 4
+        return self.GC_BASE + cls
 
     def on_gc_block(self, lba: int, from_group: int, to_group: int) -> None:
         if self.demotion is not None:

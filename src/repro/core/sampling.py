@@ -8,7 +8,9 @@ full stream's (after scaling by ``1/r``).
 
 from __future__ import annotations
 
-from repro.core.bloom import _mix64
+import numpy as np
+
+from repro.core.bloom import _mix64, _mix64_batch
 
 #: Hash-space modulus for the sampling test.
 _P = 1 << 24
@@ -31,6 +33,11 @@ class SpatialSampler:
 
     def is_sampled(self, lba: int) -> bool:
         return _mix64(lba ^ self.salt) % _P < self._threshold
+
+    def is_sampled_batch(self, lbas: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_sampled` (bool array, same semantics)."""
+        h = _mix64_batch(lbas.astype(np.uint64) ^ np.uint64(self.salt))
+        return (h % np.uint64(_P)) < np.uint64(self._threshold)
 
     @property
     def effective_rate(self) -> float:

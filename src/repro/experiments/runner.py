@@ -61,6 +61,7 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
                   seed: int = 0,
                   recorder: ObsRecorder | None = None,
                   collect_metrics: bool = False,
+                  engine: str = "auto",
                   **policy_kwargs) -> VolumeResult:
     """Replay one volume under one scheme and victim policy.
 
@@ -69,6 +70,10 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
     :class:`~repro.obs.ObsRecorder`, or supply a configured ``recorder``
     (e.g. with a JSONL spill path); either way the result carries the
     recorder's snapshot in :attr:`VolumeResult.metrics`.
+
+    ``engine`` selects the replay engine (``"auto"``/``"batched"``/
+    ``"scalar"``, see :meth:`LogStructuredStore.replay`); both engines
+    produce identical results, so this only matters for benchmarking.
     """
     if logical_blocks is None:
         blocks = trace.max_lba() + 1
@@ -82,7 +87,7 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
     if recorder is None and collect_metrics:
         recorder = ObsRecorder()
     store = LogStructuredStore(cfg, policy, recorder=recorder)
-    stats = store.replay(trace)
+    stats = store.replay(trace, engine=engine)
     groups: tuple[dict, ...] = ()
     occupancy: tuple[int, ...] = ()
     if collect_groups:
@@ -112,11 +117,12 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
 
 
 def _cell(args) -> VolumeResult:
-    scheme, trace, victim, logical_blocks, collect, seed, metrics = args
+    scheme, trace, victim, logical_blocks, collect, seed, metrics, \
+        engine = args
     return replay_volume(scheme, trace, victim,
                          logical_blocks=logical_blocks,
                          collect_groups=collect, seed=seed,
-                         collect_metrics=metrics)
+                         collect_metrics=metrics, engine=engine)
 
 
 def run_matrix(schemes: list[str], traces: list[Trace],
@@ -125,7 +131,8 @@ def run_matrix(schemes: list[str], traces: list[Trace],
                collect_groups: bool = False,
                workers: int | None = None,
                seed: int = 0,
-               collect_metrics: bool = False) -> list[VolumeResult]:
+               collect_metrics: bool = False,
+               engine: str = "auto") -> list[VolumeResult]:
     """Sweep schemes x victims x traces; return the flat result list.
 
     ``workers=None`` auto-selects: serial on one core, processes otherwise.
@@ -134,7 +141,8 @@ def run_matrix(schemes: list[str], traces: list[Trace],
     which pickle cleanly across worker processes — are attached to each
     result when ``collect_metrics`` is set.
     """
-    jobs = [(s, t, v, logical_blocks, collect_groups, seed, collect_metrics)
+    jobs = [(s, t, v, logical_blocks, collect_groups, seed,
+             collect_metrics, engine)
             for v in victims for s in schemes for t in traces]
     if workers is None:
         workers = min(os.cpu_count() or 1, 8)

@@ -4,13 +4,25 @@ Implements the four-phase process of §2.1: victim selection, validity scan,
 valid-block migration (routed through the placement policy's GC placement),
 and reclamation.  GC runs when the free-segment pool drops to the low
 watermark and cleans until the high watermark is restored.
+
+Migration has two bit-identical implementations: the scalar per-block
+reference loop, and a vectorized path used while the batched replay engine
+drives the store (``store.batched_mode``).  The batched path may hoist all
+placement decisions above all appends and defer invalidation, mapping
+updates, and ``on_gc_block`` to vectorized passes because, within one
+victim, nothing the append path touches feeds back into ``place_gc``
+(policies read only per-LBA metadata and clocks that are constant during a
+cleaning pass) and every valid LBA appears exactly once.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.lss.segment import SEG_SEALED
+from repro.placement.base import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lss.store import LogStructuredStore
@@ -21,6 +33,10 @@ class GarbageCollector:
 
     def __init__(self, store: "LogStructuredStore") -> None:
         self.store = store
+        #: Policies with the base no-op ``on_gc_block`` skip the per-block
+        #: notification loop on the batched path.
+        self._notify_gc_block = type(store.policy).on_gc_block \
+            is not PlacementPolicy.on_gc_block
 
     def needed(self) -> bool:
         return self.store.pool.free_segments <= self.store.config.gc_free_low
@@ -49,20 +65,24 @@ class GarbageCollector:
         lbas = pool.valid_lbas(victim)
         stats = store.stats
         stats.gc_passes += 1
-        for lba in lbas:
-            lba = int(lba)
-            dest = store.policy.place_gc(lba, victim_group, now_us)
-            old_loc = store.mapping[lba]
-            # The canonical copy must be the one in the victim; anything
-            # else means mapping and slot bookkeeping diverged.
-            if old_loc // pool.segment_blocks != victim:
-                raise AssertionError(
-                    f"mapping for lba {lba} points outside victim {victim}")
-            new_loc = store.groups[dest].append_gc(lba, now_us)
-            pool.invalidate(old_loc)
-            store.mapping[lba] = new_loc
-            stats.gc_blocks_migrated += 1
-            store.policy.on_gc_block(lba, victim_group, dest)
+        if store.batched_mode and lbas.size:
+            self._migrate_batch(lbas, victim, victim_group, now_us)
+        else:
+            for lba in lbas:
+                lba = int(lba)
+                dest = store.policy.place_gc(lba, victim_group, now_us)
+                old_loc = store.mapping[lba]
+                # The canonical copy must be the one in the victim; anything
+                # else means mapping and slot bookkeeping diverged.
+                if old_loc // pool.segment_blocks != victim:
+                    raise AssertionError(
+                        f"mapping for lba {lba} points outside victim "
+                        f"{victim}")
+                new_loc = store.groups[dest].append_gc(lba, now_us)
+                pool.invalidate(old_loc)
+                store.mapping[lba] = new_loc
+                stats.gc_blocks_migrated += 1
+                store.policy.on_gc_block(lba, victim_group, dest)
 
         store.policy.on_segment_reclaimed(
             group_id=victim_group,
@@ -77,3 +97,44 @@ class GarbageCollector:
             store.obs.on_gc_pass(victim, victim_group, int(lbas.size),
                                  now_us)
         store.on_segment_reclaimed_physical(victim)
+
+    def _migrate_batch(self, lbas: np.ndarray, victim: int,
+                       victim_group: int, now_us: int) -> None:
+        """Vectorized valid-block migration, bit-identical to the scalar
+        loop (see the module docstring for why the reordering is safe)."""
+        store = self.store
+        pool = store.pool
+        n = int(lbas.shape[0])
+        old_locs = store.mapping[lbas]
+        seg_of = old_locs // pool.segment_blocks
+        if (seg_of != victim).any():
+            bad = int(lbas[np.flatnonzero(seg_of != victim)[0]])
+            raise AssertionError(
+                f"mapping for lba {bad} points outside victim {victim}")
+        dests = store.policy.place_gc_batch(lbas, victim_group, now_us)
+        lba_list = lbas.tolist()
+        d0 = int(dests[0])
+        if not (dests != d0).any():
+            # Single destination (every GC-group-routing baseline).
+            locs = store.groups[d0].append_gc_run(lbas, lba_list, now_us)
+        else:
+            locs = np.empty(n, dtype=np.int64)
+            change = np.flatnonzero(np.diff(dests)) + 1
+            bounds = [0] + change.tolist() + [n]
+            for b0, b1 in zip(bounds[:-1], bounds[1:]):
+                group = store.groups[int(dests[b0])]
+                locs[b0:b1] = group.append_gc_run(lbas[b0:b1],
+                                                  lba_list[b0:b1], now_us)
+        # The batch is exactly the victim's valid set (checked above), so
+        # the per-slot invalidation walk collapses to one row reset.
+        pool.invalidate_all(victim)
+        store.mapping[lbas] = locs
+        store.stats.gc_blocks_migrated += n
+        if self._notify_gc_block:
+            dest_list = dests.tolist()
+            for idx, lba in enumerate(lba_list):
+                store.policy.on_gc_block(lba, victim_group,
+                                         dest_list[idx])
+
+
+__all__ = ["GarbageCollector"]

@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.array.coalescing import ChunkFlush, CoalescingBuffer, FlushReason
 from repro.lss.stats import GroupTraffic
 
@@ -108,6 +110,126 @@ class Group:
             self._account_flush(flush)
         self._maybe_seal()
 
+    def append_user_run(self, lbas, lba_list: list[int],
+                        ts_list: list[int], start_seq: int):
+        """Batched equivalent of calling :meth:`append_user` per block.
+
+        ``lbas`` is the int64 array of the run, ``lba_list``/``ts_list``
+        its pre-converted Python lists (token tuples want plain ints).
+        Block ``i`` of the run behaves as if ``store.user_seq`` were
+        ``start_seq + i`` (segment created/sealed stamps).  The caller —
+        the batched replay engine — guarantees that no GC trigger and no
+        SLA deadline can occur inside the run, which is what makes the
+        deferred bookkeeping bit-identical to the scalar path.
+
+        Returns the int64 array of encoded locations.
+        """
+        pool = self.store.pool
+        sb = pool.segment_blocks
+        fast = self.store._fast_flush and not self.store.flush_listeners
+        n = len(lba_list)
+        locs = np.empty(n, dtype=np.int64)
+        done = 0
+        while done < n:
+            if self.open_seg is None:
+                self.open_seg = pool.allocate(self.gid, start_seq + done)
+                self.segment_shadow_bytes = 0
+            seg = self.open_seg
+            take = min(n - done, sb - int(pool.fill[seg]))
+            slot0 = pool.append_many(seg, lbas[done:done + take])
+            base = seg * sb + slot0
+            locs[done:done + take] = np.arange(base, base + take,
+                                               dtype=np.int64)
+            self._append_run_tokens(APPEND_USER,
+                                    lba_list[done:done + take],
+                                    ts_list[done:done + take], fast)
+            done += take
+            if pool.fill[seg] == sb:
+                pool.seal(seg, start_seq + done - 1)
+                self.store.policy.on_segment_sealed(self.gid, seg)
+                self.open_seg = None
+        return locs
+
+    def append_gc_run(self, lbas, lba_list: list[int],
+                      now_us: int) -> np.ndarray:
+        """Batched equivalent of calling :meth:`append_gc` per block.
+
+        GC migrations happen at one instant of both clocks — ``now_us``
+        and ``store.user_seq`` are constant across the run — so segment
+        created/sealed stamps and buffer timers need no per-block
+        stepping.  The caller (the batched GC path) guarantees nothing
+        can interleave inside the run.  Returns the encoded locations.
+        """
+        pool = self.store.pool
+        sb = pool.segment_blocks
+        seq = self.store.user_seq
+        fast = self.store._fast_flush and not self.store.flush_listeners
+        n = len(lba_list)
+        locs = np.empty(n, dtype=np.int64)
+        done = 0
+        while done < n:
+            if self.open_seg is None:
+                self.open_seg = pool.allocate(self.gid, seq)
+                self.segment_shadow_bytes = 0
+            seg = self.open_seg
+            take = min(n - done, sb - int(pool.fill[seg]))
+            slot0 = pool.append_many(seg, lbas[done:done + take])
+            base = seg * sb + slot0
+            locs[done:done + take] = np.arange(base, base + take,
+                                               dtype=np.int64)
+            self._append_run_tokens(APPEND_GC,
+                                    lba_list[done:done + take],
+                                    [now_us] * take, fast)
+            done += take
+            if pool.fill[seg] == sb:
+                pool.seal(seg, seq)
+                self.store.policy.on_segment_sealed(self.gid, seg)
+                self.open_seg = None
+        return locs
+
+    def _append_run_tokens(self, kind: int, lba_slice: list[int],
+                           ts_slice: list[int], fast: bool) -> None:
+        """Feed one segment-bounded run portion into the coalescing
+        buffer and account its FULL flushes.
+
+        With ``fast`` (no per-flush consumer: base ``on_chunk_flush``,
+        observability off, no flush listeners) the flushes are counted,
+        not materialized; the traffic and RAID updates below are exactly
+        what per-flush :meth:`_account_flush` calls would produce for
+        all-FULL flushes.  Otherwise each ChunkFlush goes through the
+        full accounting path.
+        """
+        buf = self.buffer
+        if not fast:
+            for flush in buf.append_run(kind, lba_slice, ts_slice):
+                self._account_flush(flush)
+            return
+        p = buf.pending_blocks
+        pend = buf.pending_tokens \
+            if p and p + len(lba_slice) >= buf.chunk_blocks else ()
+        nf, new_flushed = buf.append_run_counted(kind, lba_slice, ts_slice)
+        if not nf:
+            return
+        t = self.traffic
+        fu = fg = fs = 0
+        for k, _lba in pend:
+            if k == APPEND_USER:
+                fu += 1
+            elif k == APPEND_GC:
+                fg += 1
+            else:
+                fs += 1
+        if kind == APPEND_USER:
+            fu += new_flushed
+        else:
+            fg += new_flushed
+        t.user_blocks += fu
+        t.gc_blocks += fg
+        t.shadow_blocks += fs
+        t.chunk_flushes += nf
+        self._shadow_mark = 0
+        self.store.stats.raid.add_chunk_ios(nf)
+
     def _append_data(self, lba: int, now_us: int, kind: int) -> int:
         seg = self._ensure_open_segment()
         loc = self.store.pool.append_block(seg, lba)
@@ -128,6 +250,41 @@ class Group:
             self._account_flush(flush)
             self._maybe_seal()
         return flush
+
+    def fire_deadline_fast(self, now_us: int) -> None:
+        """Deadline flush without materializing the :class:`ChunkFlush`.
+
+        Only valid under the store's fast-flush conditions (base
+        ``on_chunk_flush``, observability off, no flush listeners) with
+        the deadline already checked as due — the counter updates below
+        are exactly what :meth:`poll_deadline` would produce then.
+        """
+        buf = self.buffer
+        tokens = buf._tokens
+        pad = buf.chunk_blocks - len(tokens)
+        t = self.traffic
+        fu = fg = fs = 0
+        for k, _lba in tokens:
+            if k == APPEND_USER:
+                fu += 1
+            elif k == APPEND_GC:
+                fg += 1
+            else:
+                fs += 1
+        t.user_blocks += fu
+        t.gc_blocks += fg
+        t.shadow_blocks += fs
+        t.padding_blocks += pad
+        t.chunk_flushes += 1
+        t.deadline_flushes += 1
+        tokens.clear()
+        buf._timer_start_us = None
+        buf._heap_entry_us = None
+        if pad and self.open_seg is not None:
+            self.store.pool.append_padding(self.open_seg, pad)
+        self._shadow_mark = 0
+        self.store.stats.raid.add_chunks(1)
+        self._maybe_seal()
 
     def force_flush(self, now_us: int) -> ChunkFlush | None:
         flush = self.buffer.force_flush(now_us)

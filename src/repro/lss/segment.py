@@ -108,6 +108,28 @@ class SegmentPool:
         self.valid_count[seg] += 1
         return seg * self.segment_blocks + slot
 
+    def append_many(self, seg: int, lbas: np.ndarray) -> int:
+        """Place a run of LBAs into consecutive slots of open segment
+        ``seg``; return the first slot index.
+
+        Equivalent to calling :meth:`append_block` once per LBA (including
+        the per-slot ``slot_seq`` stamps), but with slice writes.  The run
+        must fit in the segment's remaining capacity.
+        """
+        slot = int(self.fill[seg])
+        n = int(lbas.shape[0])
+        if slot + n > self.segment_blocks:
+            raise CapacityError(f"segment {seg} overflow")
+        self.slot_lba[seg, slot:slot + n] = lbas
+        self.slot_valid[seg, slot:slot + n] = True
+        s0 = self._append_seq + 1
+        self._append_seq += n
+        self.slot_seq[seg, slot:slot + n] = np.arange(s0, s0 + n,
+                                                      dtype=np.int64)
+        self.fill[seg] = slot + n
+        self.valid_count[seg] += n
+        return slot
+
     def append_padding(self, seg: int, nblocks: int) -> None:
         """Consume ``nblocks`` slots with dead zero-padding."""
         slot = int(self.fill[seg])
@@ -123,6 +145,29 @@ class SegmentPool:
             raise ValueError(f"location {loc} already invalid")
         self.slot_valid[seg, slot] = False
         self.valid_count[seg] -= 1
+
+    def invalidate_many(self, locs: np.ndarray) -> None:
+        """Vectorized :meth:`invalidate` over distinct encoded locations."""
+        flat_valid = self.slot_valid.reshape(-1)
+        state = flat_valid[locs]
+        if not state.all():
+            bad = int(locs[np.flatnonzero(~state)[0]])
+            raise ValueError(f"location {bad} already invalid")
+        flat_valid[locs] = False
+        per_seg = np.bincount(locs // self.segment_blocks,
+                              minlength=self.num_segments)
+        self.valid_count -= per_seg.astype(self.valid_count.dtype)
+
+    def invalidate_all(self, seg: int) -> None:
+        """Invalidate every valid block of ``seg`` in one row write.
+
+        Equivalent to calling :meth:`invalidate` for each of the
+        segment's valid slots — used by batched GC, which migrates a
+        victim's full valid set and therefore knows the survivor count
+        is zero without per-slot bookkeeping.
+        """
+        self.slot_valid[seg, :] = False
+        self.valid_count[seg] = 0
 
     def location_of(self, seg: int, slot: int) -> int:
         return seg * self.segment_blocks + slot

@@ -8,6 +8,8 @@ is how the five baselines and ADAPT share one simulator.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.common.errors import ConfigError
@@ -67,6 +69,13 @@ class LogStructuredStore:
         self._sla_groups = [g for g in self.groups
                             if g.spec.kind in (GroupKind.USER,
                                                GroupKind.MIXED)]
+        #: Lazy min-heap of (deadline_us, gid) entries: every SLA buffer
+        #: with an armed timer keeps at least one entry at or below its
+        #: actual deadline, so tick() is O(1) until a deadline really
+        #: fires.  Stale entries are popped and revalidated lazily.
+        self._deadline_heap: list[tuple[int, int]] = []
+        for g in self._sla_groups:
+            g.buffer.bind_deadline_heap(self._deadline_heap)
 
         self.victim_policy = make_victim_policy(config.victim_policy,
                                                 rng=config.seed)
@@ -75,6 +84,23 @@ class LogStructuredStore:
         #: Logical clock: number of user block writes accepted so far.
         self.user_seq = 0
         self.now_us = 0
+        #: Set by the batched replay engine while it drives the store;
+        #: gates the vectorized GC-migration path (bit-identical results,
+        #: see ``GarbageCollector.clean_segment``).  The scalar engine
+        #: never sets it, keeping the per-block reference path intact.
+        self.batched_mode = False
+        #: True when chunk flushes have no per-flush consumer beyond the
+        #: store's own accounting (policy keeps the base no-op
+        #: ``on_chunk_flush``/``before_padding_flush`` hooks and
+        #: observability is off): run appends may then account FULL
+        #: flushes in bulk and ``tick`` may fire deadlines through the
+        #: lean counted path instead of materializing each ChunkFlush.
+        from repro.placement.base import PlacementPolicy
+        self._fast_flush = (
+            type(policy).on_chunk_flush is PlacementPolicy.on_chunk_flush
+            and type(policy).before_padding_flush
+            is PlacementPolicy.before_padding_flush
+            and not self._obs_on)
         #: Optional observers of physical events (e.g. the FTL bridge):
         #: called as fn(group, flush, device_lba_start) and fn(segment).
         self.flush_listeners: list = []
@@ -130,10 +156,31 @@ class LogStructuredStore:
     def tick(self, now_us: int) -> None:
         """Advance simulated time: fire SLA deadline flushes that are due.
 
+        The common case — no deadline due — costs one heap-top comparison
+        instead of the former O(#groups) scan.  When the validated next
+        deadline is due, the exact legacy ascending-gid scan runs (the
+        firing order is observable: ADAPT's aggregation moves blocks
+        between groups mid-scan), so firing semantics are unchanged.
+
         The placement policy gets a chance to avert each padding flush
         (ADAPT's cross-group aggregation hooks in here, §3.3).
         """
         self.now_us = now_us
+        nd = self.next_deadline()
+        if nd is None or now_us < nd:
+            return
+        if self._fast_flush and not self.flush_listeners:
+            # Fast-flush policies keep the base (no-op)
+            # ``before_padding_flush``, so the scan reduces to firing
+            # every due group through the lean counted path.
+            for group in self._sla_groups:
+                buf = group.buffer
+                if buf.pending_blocks == 0:
+                    continue
+                deadline = buf.deadline_us
+                if deadline is not None and now_us >= deadline:
+                    group.fire_deadline_fast(now_us)
+            return
         for group in self._sla_groups:
             if group.buffer.pending_blocks == 0:
                 continue
@@ -144,16 +191,124 @@ class LogStructuredStore:
                 continue  # policy persisted the data another way
             group.poll_deadline(now_us)
 
+    def next_deadline(self) -> int | None:
+        """The earliest armed SLA deadline across all groups, or ``None``.
+
+        Pops stale heap entries until the top matches its buffer's live
+        deadline.  Only the entry the buffer still tracks (its
+        ``heap_entry_us``) is re-pushed at the moved deadline; any other
+        popped entry is a leftover from an already-flushed episode whose
+        live successor is elsewhere in the heap — re-pushing those would
+        duplicate them without bound.
+        """
+        heap = self._deadline_heap
+        while heap:
+            d, gid = heap[0]
+            buf = self.groups[gid].buffer
+            actual = buf.deadline_us
+            if actual == d:
+                return d
+            heapq.heappop(heap)
+            if d != buf.heap_entry_us:
+                continue
+            buf.sync_heap_entry(actual)
+            if actual is not None:
+                heapq.heappush(heap, (actual, gid))
+        return None
+
+    def apply_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         gids: np.ndarray, splitter=None) -> None:
+        """Apply a pre-placed batch of user writes in one vectorized pass.
+
+        The caller — the batched replay engine — guarantees that no GC
+        trigger can occur anywhere inside the batch; under that guarantee
+        the deferred mapping update and invalidation below are
+        unobservable and the final state is bit-identical to a scalar
+        ``write_block`` loop.  Duplicate LBAs are handled by invalidating
+        each occurrence's predecessor.
+
+        ``splitter`` interleaves SLA deadline fires: called with the next
+        unapplied block offset, it returns ``(end_block, tick_ts)`` —
+        blocks up to ``end_block`` are appended, then ``tick(tick_ts)``
+        runs the real deadline scan; ``tick_ts is None`` ends the batch.
+        Flushes never feed back into placement, so the pre-computed
+        ``gids`` stay exact across fires.
+        """
+        from repro.perf.batch import duplicate_chains
+        n = int(lbas.shape[0])
+        if n == 0:
+            return
+        old = self.mapping[lbas]
+        prev, last_mask = duplicate_chains(lbas)
+        locs = np.empty(n, dtype=np.int64)
+        start_seq = self.user_seq
+        lba_list = lbas.tolist()
+        ts_list = ts_us.tolist()
+        run_ends = np.flatnonzero(np.diff(gids)).tolist()
+        run_ends = [e + 1 for e in run_ends]
+        run_ends.append(n)
+        ri = 0  # index of the run covering the apply cursor
+        pos = 0
+        while True:
+            end, tick_at = (n, None) if splitter is None \
+                else splitter(pos)
+            b = pos
+            while b < end:
+                while run_ends[ri] <= b:
+                    ri += 1
+                b1 = min(run_ends[ri], end)
+                group = self.groups[int(gids[b])]
+                locs[b:b1] = group.append_user_run(
+                    lbas[b:b1], lba_list[b:b1], ts_list[b:b1],
+                    start_seq + b)
+                self.user_seq = start_seq + b1
+                b = b1
+            pos = end
+            if tick_at is None:
+                break
+            self.tick(tick_at)
+        self.stats.user_blocks_requested += n
+        # Deferred invalidation: first occurrences kill their pre-batch
+        # location, later occurrences kill their predecessor's fresh slot.
+        dup = prev >= 0
+        old[dup] = locs[prev[dup]]
+        dead = old[old != UNMAPPED]
+        if dead.size:
+            self.pool.invalidate_many(dead)
+        self.mapping[lbas[last_mask]] = locs[last_mask]
+        if self._auditor is not None:
+            self._auditor.on_user_batch(self, n)
+
     # ------------------------------------------------------------------
     # replay and finalisation
     # ------------------------------------------------------------------
-    def replay(self, trace: Trace, finalize: bool = True) -> StoreStats:
-        """Replay a whole trace and return the stats object."""
-        ts, ops = trace.timestamps, trace.ops
-        offs, szs = trace.offsets, trace.sizes
-        for i in range(len(trace)):
-            self.process_request(int(ts[i]), int(ops[i]), int(offs[i]),
-                                 int(szs[i]))
+    def replay(self, trace: Trace, finalize: bool = True,
+               engine: str = "auto") -> StoreStats:
+        """Replay a whole trace and return the stats object.
+
+        Args:
+            trace: the request stream.
+            finalize: force-flush pending chunks at end of trace.
+            engine: ``"batched"`` (vectorized chunked replay,
+                ``repro.perf``), ``"scalar"`` (the per-request reference
+                loop), or ``"auto"`` (batched when its preconditions hold:
+                observability disabled and no flush listeners).  Both
+                engines produce bit-identical final state; the differential
+                suite enforces it against the oracle.
+        """
+        if engine not in ("auto", "batched", "scalar"):
+            raise ValueError(f"unknown replay engine {engine!r}")
+        if engine == "batched" or (
+                engine == "auto" and not self._obs_on
+                and not self.flush_listeners):
+            from repro.perf.engine import BatchedReplayEngine
+            return BatchedReplayEngine(self).replay(trace, finalize=finalize)
+        ts = trace.timestamps.tolist()
+        ops = trace.ops.tolist()
+        offs = trace.offsets.tolist()
+        szs = trace.sizes.tolist()
+        for t, op, off, sz in zip(ts, ops, offs, szs):
+            self.process_request(t, op, off, sz)
         if finalize:
             self.finalize()
         return self.stats
@@ -194,13 +349,11 @@ class LogStructuredStore:
     def group_occupancy(self) -> np.ndarray:
         """Blocks currently resident per group, counting sealed + open
         segments (Fig 3b's group-size distribution)."""
-        occ = np.zeros(len(self.groups), dtype=np.int64)
         pool = self.pool
-        for seg in range(pool.num_segments):
-            g = int(pool.group[seg])
-            if g >= 0:
-                occ[g] += int(pool.valid_count[seg])
-        return occ
+        owned = pool.group >= 0
+        return np.bincount(pool.group[owned].astype(np.int64),
+                           weights=pool.valid_count[owned],
+                           minlength=len(self.groups)).astype(np.int64)
 
     def check_invariants(self) -> None:
         """Cross-structure consistency (tests only): every mapped LBA points
@@ -208,15 +361,20 @@ class LogStructuredStore:
         number of mapped LBAs."""
         self.pool.check_invariants()
         mapped = np.flatnonzero(self.mapping != UNMAPPED)
-        for lba in mapped:
-            loc = int(self.mapping[lba])
-            seg, slot = divmod(loc, self.pool.segment_blocks)
-            if not self.pool.slot_valid[seg, slot]:
-                raise AssertionError(f"lba {lba} maps to invalid slot {loc}")
-            if self.pool.slot_lba[seg, slot] != lba:
-                raise AssertionError(
-                    f"lba {lba} maps to slot holding "
-                    f"{self.pool.slot_lba[seg, slot]}")
+        locs = self.mapping[mapped]
+        seg, slot = np.divmod(locs, self.pool.segment_blocks)
+        invalid = np.flatnonzero(~self.pool.slot_valid[seg, slot])
+        if invalid.size:
+            i = invalid[0]
+            raise AssertionError(f"lba {int(mapped[i])} maps to invalid "
+                                 f"slot {int(locs[i])}")
+        held = self.pool.slot_lba[seg, slot]
+        wrong = np.flatnonzero(held != mapped)
+        if wrong.size:
+            i = wrong[0]
+            raise AssertionError(
+                f"lba {int(mapped[i])} maps to slot holding "
+                f"{int(held[i])}")
         total_valid = int(self.pool.valid_count.sum())
         if total_valid != mapped.size:
             raise AssertionError(

@@ -1,0 +1,57 @@
+"""Duplicate-LBA chain arithmetic shared by the batched fast paths.
+
+A batch of user writes may touch the same LBA several times.  Scalar
+replay handles this implicitly (each write reads the metadata its
+predecessor just wrote); the vectorized paths need the dependency chains
+explicitly: for every element, the index of its previous occurrence in the
+batch, and whether it is the last occurrence (the one whose effect
+survives into the per-LBA arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def duplicate_chains(lbas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Resolve duplicate-LBA dependencies inside one batch.
+
+    Returns ``(prev, last_mask)``:
+
+    * ``prev[i]`` — index of the previous occurrence of ``lbas[i]`` within
+      the batch, or ``-1`` if ``i`` is the first occurrence.
+    * ``last_mask[i]`` — ``True`` iff ``i`` is the last occurrence of its
+      LBA (the write whose metadata update wins).
+    """
+    n = int(lbas.shape[0])
+    prev = np.full(n, -1, dtype=np.int64)
+    last_mask = np.ones(n, dtype=bool)
+    if n < 2:
+        return prev, last_mask
+    order = np.argsort(lbas, kind="stable")
+    sl = lbas[order]
+    dup_sorted = np.empty(n, dtype=bool)
+    dup_sorted[0] = False
+    np.equal(sl[1:], sl[:-1], out=dup_sorted[1:])
+    dup_pos = np.flatnonzero(dup_sorted)
+    prev_idx = order[dup_pos - 1]
+    prev[order[dup_pos]] = prev_idx
+    last_mask[prev_idx] = False
+    return prev, last_mask
+
+
+def occurrence_index(lbas: np.ndarray) -> np.ndarray:
+    """Rank of each element among equal LBAs (0 for first occurrence)."""
+    n = int(lbas.shape[0])
+    occ = np.zeros(n, dtype=np.int64)
+    if n < 2:
+        return occ
+    order = np.argsort(lbas, kind="stable")
+    sl = lbas[order]
+    new_run = np.empty(n, dtype=bool)
+    new_run[0] = True
+    np.not_equal(sl[1:], sl[:-1], out=new_run[1:])
+    run_starts = np.flatnonzero(new_run)
+    run_ids = np.cumsum(new_run) - 1
+    occ[order] = np.arange(n, dtype=np.int64) - run_starts[run_ids]
+    return occ

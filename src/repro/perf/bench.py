@@ -1,0 +1,215 @@
+"""Replay-throughput bench harness and regression gate.
+
+Measures end-to-end replay throughput (user blocks written per second)
+for every placement policy on one volume of each cloud profile, under
+both replay engines, and writes a ``BENCH_<date>.json`` snapshot at the
+repo root.  Snapshots are diffable across commits: :func:`compare_bench`
+flags any cell whose throughput dropped by more than a configurable
+threshold against a previous snapshot, which is what the CI smoke job
+gates on.
+
+Timing methodology: each cell replays a *fresh* store ``repeats`` times
+and keeps the best wall-clock run — the quantity under test is the
+engine's cost, not the machine's scheduling noise — and the same cached
+trace objects are reused across every cell so generation never pollutes
+the measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+
+from repro.experiments.scale import Scale
+from repro.experiments.workloads import PROFILES, fleet_for
+from repro.lss.store import LogStructuredStore
+from repro.placement.registry import available_policies, make_policy
+
+#: Snapshot format version (bump on incompatible layout changes).
+SCHEMA_VERSION = 1
+
+#: Default fractional throughput drop that counts as a regression.
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class BenchCell:
+    """One (policy, workload, engine) throughput measurement."""
+
+    policy: str
+    workload: str
+    engine: str
+    seconds: float
+    user_blocks: int
+    blocks_per_sec: float
+
+
+def run_bench(scale: Scale,
+              policies: list[str] | None = None,
+              profiles: tuple[str, ...] = PROFILES,
+              engines: tuple[str, ...] = ("scalar", "batched"),
+              repeats: int = 2,
+              seed: int = 0,
+              date: str | None = None) -> dict:
+    """Run the full bench matrix; returns the snapshot dict.
+
+    One volume per profile (the first of the standard experiment fleet,
+    so the trace cache is shared with the figure drivers).
+    """
+    from repro.experiments.runner import store_config_for
+    if policies is None:
+        policies = available_policies()
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    traces = {p: fleet_for(p, scale)[0] for p in profiles}
+    cells: list[BenchCell] = []
+    for policy_name in policies:
+        for profile in profiles:
+            trace = traces[profile]
+            for engine in engines:
+                best = None
+                blocks = 0
+                for _ in range(repeats):
+                    cfg = store_config_for(scale.volume_blocks, seed=seed)
+                    store = LogStructuredStore(
+                        cfg, make_policy(policy_name, cfg))
+                    t0 = time.perf_counter()
+                    stats = store.replay(trace, engine=engine)
+                    dt = time.perf_counter() - t0
+                    blocks = stats.user_blocks_requested
+                    if best is None or dt < best:
+                        best = dt
+                cells.append(BenchCell(
+                    policy=policy_name, workload=profile, engine=engine,
+                    seconds=round(best, 6), user_blocks=blocks,
+                    blocks_per_sec=round(blocks / best, 1) if best else 0.0))
+    return {
+        "schema": SCHEMA_VERSION,
+        "date": date or time.strftime("%Y-%m-%d"),
+        "scale": scale.name,
+        "repeats": repeats,
+        "seed": seed,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cells": [asdict(c) for c in cells],
+        "speedups": _speedups(cells),
+    }
+
+
+def _speedups(cells: list[BenchCell]) -> dict[str, float]:
+    """batched-over-scalar throughput ratio per (policy, workload)."""
+    by_key: dict[tuple[str, str], dict[str, float]] = {}
+    for c in cells:
+        by_key.setdefault((c.policy, c.workload), {})[c.engine] = \
+            c.blocks_per_sec
+    out = {}
+    for (policy, workload), eng in sorted(by_key.items()):
+        if eng.get("scalar") and eng.get("batched"):
+            out[f"{policy}/{workload}"] = round(
+                eng["batched"] / eng["scalar"], 3)
+    return out
+
+
+def bench_filename(date: str) -> str:
+    return f"BENCH_{date.replace('-', '')}.json"
+
+
+def write_bench(result: dict, out_dir: str = ".") -> str:
+    """Write the snapshot as ``BENCH_<date>.json`` in ``out_dir``."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, bench_filename(result["date"]))
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def find_previous_bench(out_dir: str = ".",
+                        exclude: str | None = None) -> str | None:
+    """Latest ``BENCH_*.json`` in ``out_dir`` (dates sort lexically)."""
+    try:
+        names = sorted(n for n in os.listdir(out_dir)
+                       if n.startswith("BENCH_") and n.endswith(".json"))
+    except OSError:
+        return None
+    if exclude:
+        ex = os.path.basename(exclude)
+        names = [n for n in names if n != ex]
+    return os.path.join(out_dir, names[-1]) if names else None
+
+
+def compare_bench(current: dict, baseline: dict,
+                  threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
+    """Cells whose throughput regressed by more than ``threshold``.
+
+    Cells are matched on (policy, workload, engine); cells present in
+    only one snapshot are ignored (policies and profiles may come and
+    go).  Snapshots from different scales never compare — a scale change
+    is a workload change, not a regression.
+    """
+    if current.get("scale") != baseline.get("scale"):
+        return []
+    base = {(c["policy"], c["workload"], c["engine"]): c
+            for c in baseline.get("cells", [])}
+    regressions = []
+    for c in current.get("cells", []):
+        b = base.get((c["policy"], c["workload"], c["engine"]))
+        if b is None or not b["blocks_per_sec"]:
+            continue
+        change = c["blocks_per_sec"] / b["blocks_per_sec"] - 1.0
+        if change < -threshold:
+            regressions.append({
+                "policy": c["policy"], "workload": c["workload"],
+                "engine": c["engine"],
+                "baseline_blocks_per_sec": b["blocks_per_sec"],
+                "current_blocks_per_sec": c["blocks_per_sec"],
+                "change": round(change, 4),
+            })
+    return regressions
+
+
+def render_bench(result: dict,
+                 regressions: list[dict] | None = None,
+                 baseline_path: str | None = None) -> str:
+    """Human-readable table for the CLI and CI logs."""
+    from repro.experiments.report import render_table
+    by_key: dict[tuple[str, str], dict[str, dict]] = {}
+    for c in result["cells"]:
+        by_key.setdefault((c["policy"], c["workload"]), {})[c["engine"]] = c
+    rows = []
+    for (policy, workload), eng in sorted(by_key.items()):
+        row = [policy, workload]
+        for name in ("scalar", "batched"):
+            c = eng.get(name)
+            row.append(f"{c['blocks_per_sec']:,.0f}" if c else "-")
+        ratio = result["speedups"].get(f"{policy}/{workload}")
+        row.append(f"{ratio:.2f}x" if ratio else "-")
+        rows.append(row)
+    out = render_table(
+        ["policy", "workload", "scalar blk/s", "batched blk/s", "speedup"],
+        rows,
+        title=f"replay throughput ({result['scale']} scale, best of "
+              f"{result['repeats']})")
+    if regressions is None:
+        return out
+    if baseline_path:
+        out += f"\nbaseline: {baseline_path}"
+    if regressions:
+        out += f"\n{len(regressions)} cell(s) regressed:"
+        for r in regressions:
+            out += (f"\n  {r['policy']}/{r['workload']}/{r['engine']}: "
+                    f"{r['baseline_blocks_per_sec']:,.0f} -> "
+                    f"{r['current_blocks_per_sec']:,.0f} blk/s "
+                    f"({r['change'] * 100:+.1f}%)")
+    else:
+        out += "\nno cells regressed beyond threshold"
+    return out
+
+
+__all__ = ["BenchCell", "DEFAULT_THRESHOLD", "SCHEMA_VERSION",
+           "bench_filename", "compare_bench", "find_previous_bench",
+           "render_bench", "run_bench", "write_bench"]

@@ -1,0 +1,172 @@
+"""On-disk cache for synthetic trace fleets.
+
+Generating a paper-scale fleet costs longer than replaying it at smoke
+scale, and every figure driver, the bench harness, and CI regenerate the
+exact same deterministic fleets (fixed seed, fixed scale).  This module
+memoises them on disk: a fleet is keyed by the SHA-256 of its generator
+name + parameters + seed (plus a format version), and stored as one
+compressed ``.npz`` holding each trace's four columns.
+
+Layout and controls:
+
+* cache root: ``$ADAPT_REPRO_CACHE_DIR`` or ``~/.cache/adapt-repro/``,
+  one ``traces/<key>.npz`` per fleet;
+* opt-out: ``ADAPT_REPRO_NO_TRACE_CACHE=1`` in the environment, the
+  ``--no-trace-cache`` CLI flag, or :func:`set_enabled` in code;
+* writes are atomic (temp file + ``os.replace``), so concurrent
+  processes can only ever observe complete files;
+* corrupt or unreadable cache files are treated as misses and
+  overwritten, never raised.
+
+The key deliberately includes a ``_FORMAT_VERSION`` that must be bumped
+whenever generator semantics change; stale entries then simply stop
+being hit (``clear`` prunes them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.trace.model import Trace
+
+#: Bump when generator output or the npz layout changes incompatibly.
+_FORMAT_VERSION = 1
+
+#: Module-level switch flipped by ``--no-trace-cache`` (env wins if set).
+_enabled = True
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable/disable the cache for this process (e.g. CLI opt-out)."""
+    global _enabled
+    _enabled = enabled
+
+
+def cache_enabled() -> bool:
+    """Whether lookups/stores are active right now."""
+    if os.environ.get("ADAPT_REPRO_NO_TRACE_CACHE"):
+        return False
+    return _enabled
+
+
+def cache_dir() -> str:
+    """Resolved cache root (not created until first store)."""
+    root = os.environ.get("ADAPT_REPRO_CACHE_DIR")
+    if not root:
+        root = os.path.join(os.path.expanduser("~"), ".cache",
+                            "adapt-repro")
+    return root
+
+
+def fleet_key(generator: str, params: dict) -> str:
+    """Stable content key for one fleet request.
+
+    ``params`` must be JSON-serialisable; the generator's seed belongs in
+    it — two fleets differing only by seed must never collide.
+    """
+    payload = json.dumps(
+        {"v": _FORMAT_VERSION, "generator": generator, "params": params},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _path_for(key: str) -> str:
+    return os.path.join(cache_dir(), "traces", f"{key}.npz")
+
+
+def load_fleet(key: str) -> list[Trace] | None:
+    """Return the cached fleet for ``key``, or ``None`` on miss/corruption."""
+    if not cache_enabled():
+        return None
+    path = _path_for(key)
+    try:
+        with np.load(path, allow_pickle=False) as z:
+            count = int(z["count"])
+            volumes = [str(v) for v in z["volumes"]]
+            traces = []
+            for i in range(count):
+                traces.append(Trace(
+                    z[f"t{i}_timestamps"], z[f"t{i}_ops"],
+                    z[f"t{i}_offsets"], z[f"t{i}_sizes"],
+                    volume=volumes[i]))
+            return traces
+    except (OSError, KeyError, ValueError, IndexError):
+        return None
+
+
+def store_fleet(key: str, traces: Sequence[Trace]) -> str | None:
+    """Atomically persist ``traces`` under ``key``; returns the path, or
+    ``None`` when the cache is disabled or the filesystem refuses."""
+    if not cache_enabled():
+        return None
+    path = _path_for(key)
+    arrays: dict[str, np.ndarray] = {
+        "count": np.int64(len(traces)),
+        "volumes": np.array([t.volume for t in traces]),
+    }
+    for i, t in enumerate(traces):
+        arrays[f"t{i}_timestamps"] = t.timestamps
+        arrays[f"t{i}_ops"] = t.ops
+        arrays[f"t{i}_offsets"] = t.offsets
+        arrays[f"t{i}_sizes"] = t.sizes
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                np.savez_compressed(f, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    return path
+
+
+def cached_fleet(generator: str, params: dict,
+                 build: Callable[[], Sequence[Trace]]) -> list[Trace]:
+    """Memoise ``build()`` under ``(generator, params)``.
+
+    The returned traces are fresh objects either way (a cache hit
+    deserialises new arrays), so callers may mutate them freely.
+    """
+    key = fleet_key(generator, params)
+    fleet = load_fleet(key)
+    if fleet is not None:
+        return fleet
+    fleet = list(build())
+    store_fleet(key, fleet)
+    return fleet
+
+
+def clear() -> int:
+    """Delete every cached fleet; returns the number of files removed."""
+    root = os.path.join(cache_dir(), "traces")
+    removed = 0
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    for name in names:
+        if name.endswith(".npz"):
+            try:
+                os.unlink(os.path.join(root, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+__all__ = ["cache_dir", "cache_enabled", "cached_fleet", "clear",
+           "fleet_key", "load_fleet", "set_enabled", "store_fleet"]

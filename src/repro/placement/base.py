@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
+import numpy as np
+
 from repro.lss.config import LSSConfig
 from repro.lss.group import Group, GroupSpec
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
@@ -52,6 +54,70 @@ class PlacementPolicy:
     def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
         """Route one GC-migrated valid block; return a group id."""
         raise NotImplementedError
+
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        """Route a batch of user block writes; return one group id each.
+
+        Contract (see ``docs/extending.md``): the batched replay engine
+        guarantees that no GC run and no SLA deadline flush can occur
+        while the batch is placed and applied, and that block ``i``
+        observes the logical clock at ``start_seq + i``.  Implementations
+        must return exactly what a scalar :meth:`place_user` loop would,
+        and leave their per-LBA metadata in the same final state —
+        including chains of duplicate LBAs within the batch (see
+        :func:`repro.perf.batch.duplicate_chains`).
+
+        The base implementation *is* that scalar loop (with the logical
+        clock stepped per block), so every policy is batch-correct by
+        default; subclasses override with vectorized versions.
+        """
+        store = self.store
+        if store is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to a store")
+        out = np.empty(int(lbas.shape[0]), dtype=np.int64)
+        saved = store.user_seq
+        try:
+            for i, (lba, t) in enumerate(zip(lbas.tolist(),
+                                             ts_us.tolist())):
+                store.user_seq = start_seq + i
+                out[i] = self.place_user(lba, t)
+        finally:
+            store.user_seq = saved
+        return out
+
+    def user_placement_gids(self) -> Sequence[int]:
+        """The set of group ids :meth:`place_user` can ever return.
+
+        Contract (see ``docs/extending.md``): the batched replay engine
+        sizes its provably-GC-free chunks adversarially over *this* set —
+        a group outside it can never receive user blocks, so its
+        open-segment headroom cannot be drained by a chunk and it never
+        forces a segment allocation.  Declaring a tight set (e.g. MiDA
+        routes every user write to group 0) makes chunks much larger near
+        the GC watermark; the default — every group — is always safe.
+        Policies that can route user writes anywhere (e.g. via ADAPT's
+        proactive demotion) must keep the default.
+        """
+        return range(len(self.group_specs()))
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        """Route one victim's GC-migrated valid blocks; one group id each.
+
+        Contract (see ``docs/extending.md``): called from the batched GC
+        path with one victim segment's valid LBAs in slot order.  Each
+        LBA appears at most once (the mapping is a bijection onto valid
+        slots) and both clocks are constant across the batch, so unlike
+        :meth:`place_user_batch` there are no in-batch chains to model.
+        Implementations must return exactly what a scalar
+        :meth:`place_gc` loop would and leave their metadata in the same
+        final state.  The base implementation is that scalar loop.
+        """
+        out = np.empty(int(lbas.shape[0]), dtype=np.int64)
+        for i, lba in enumerate(lbas.tolist()):
+            out[i] = self.place_gc(lba, victim_group, now_us)
+        return out
 
     # ------------------------------------------------------------------
     # optional hooks

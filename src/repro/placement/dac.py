@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.lss.config import LSSConfig
 from repro.lss.group import GroupKind, GroupSpec
+from repro.perf.batch import duplicate_chains, occurrence_index
 from repro.placement.base import PlacementPolicy
 from repro.placement.registry import register
 
@@ -44,9 +45,29 @@ class DACPolicy(PlacementPolicy):
         self._region[lba] = new
         return new
 
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        # The k-th in-batch occurrence of an LBA sees the region its
+        # predecessor just wrote, so a run of duplicates climbs the
+        # promote ladder one region per write: min(base + occ, top).
+        occ = occurrence_index(lbas)
+        base = np.where(self._written[lbas],
+                        self._region[lbas].astype(np.int64) + 1, 0)
+        gids = np.minimum(base + occ, self.num_regions - 1)
+        _, last_mask = duplicate_chains(lbas)
+        self._region[lbas[last_mask]] = gids[last_mask]
+        self._written[lbas] = True
+        return gids
+
     def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
         new = max(int(self._region[lba]) - 1, 0)
         self._region[lba] = new
+        return new
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        new = np.maximum(self._region[lbas].astype(np.int64) - 1, 0)
+        self._region[lbas] = new
         return new
 
     def memory_bytes(self) -> int:

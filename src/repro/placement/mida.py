@@ -37,10 +37,25 @@ class MiDAPolicy(PlacementPolicy):
         self._migrations[lba] = 0
         return 0
 
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        self._migrations[lbas] = 0
+        return np.zeros(int(lbas.shape[0]), dtype=np.int64)
+
+    def user_placement_gids(self) -> tuple[int, ...]:
+        return (0,)
+
     def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
         count = min(int(self._migrations[lba]) + 1, self.num_groups - 1)
         self._migrations[lba] = count
         return count
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        counts = np.minimum(self._migrations[lbas].astype(np.int64) + 1,
+                            self.num_groups - 1)
+        self._migrations[lbas] = counts
+        return counts
 
     def memory_bytes(self) -> int:
         return self._migrations.nbytes

@@ -67,10 +67,27 @@ class MidasLitePolicy(PlacementPolicy):
         self._migrations[lba] = 0
         return 0
 
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        self._migrations[lbas] = 0
+        return np.zeros(int(lbas.shape[0]), dtype=np.int64)
+
+    def user_placement_gids(self) -> tuple[int, ...]:
+        return (0,)
+
     def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
         count = min(int(self._migrations[lba]) + 1, self.active_groups - 1)
         self._migrations[lba] = count
         return count
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        # active_groups only moves in on_segment_reclaimed, after the
+        # whole victim is migrated, so it is constant across the batch.
+        counts = np.minimum(self._migrations[lbas].astype(np.int64) + 1,
+                            self.active_groups - 1)
+        self._migrations[lbas] = counts
+        return counts
 
     # ------------------------------------------------------------------
     # adaptation

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.lss.config import LSSConfig
 from repro.lss.group import GroupKind, GroupSpec
+from repro.perf.batch import duplicate_chains
 from repro.placement.base import PlacementPolicy
 from repro.placement.registry import register
 
@@ -65,9 +66,43 @@ class SepBITPolicy(PlacementPolicy):
         v = now - last
         return self.HOT if v < self.threshold else self.COLD
 
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        # Block i writes at logical time start_seq + i; a duplicate's
+        # ``last`` is its in-batch predecessor's write time.  The
+        # threshold is constant across the batch (it only moves in
+        # on_segment_reclaimed, and batches are GC-free).
+        n = int(lbas.shape[0])
+        now = start_seq + np.arange(n, dtype=np.int64)
+        last = self._last_user_write[lbas]
+        prev, last_mask = duplicate_chains(lbas)
+        dup = prev >= 0
+        last[dup] = start_seq + prev[dup]
+        gids = np.where((last >= 0) & ((now - last) < self.threshold),
+                        self.HOT, self.COLD).astype(np.int64)
+        self._last_user_write[lbas[last_mask]] = now[last_mask]
+        return gids
+
+    def user_placement_gids(self) -> tuple[int, ...]:
+        return (self.HOT, self.COLD)
+
     def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
         age = self.block_age(lba)
         return self.GC_BASE + self.gc_class_for_age(age)
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        # The threshold only moves in on_segment_reclaimed, after the
+        # whole victim is migrated: the age ladder is constant here, and
+        # the class is how many geometric boundaries the age clears.
+        last = self._last_user_write[lbas]
+        age = np.where(last >= 0, self.user_seq - last, self.user_seq)
+        cls = np.zeros(int(lbas.shape[0]), dtype=np.int64)
+        bound = self.threshold * 4
+        for _ in range(self.num_gc_groups - 1):
+            cls += age >= bound
+            bound *= 4
+        return self.GC_BASE + cls
 
     def block_age(self, lba: int) -> int:
         last = int(self._last_user_write[lba])

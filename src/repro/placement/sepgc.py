@@ -8,6 +8,8 @@ maximises write-aggregation efficiency.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.lss.group import GroupKind, GroupSpec
 from repro.placement.base import PlacementPolicy
 from repro.placement.registry import register
@@ -30,8 +32,19 @@ class SepGCPolicy(PlacementPolicy):
     def place_user(self, lba: int, now_us: int) -> int:
         return self.USER_GROUP
 
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        return np.full(int(lbas.shape[0]), self.USER_GROUP, dtype=np.int64)
+
+    def user_placement_gids(self) -> tuple[int, ...]:
+        return (self.USER_GROUP,)
+
     def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
         return self.GC_GROUP
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        return np.full(int(lbas.shape[0]), self.GC_GROUP, dtype=np.int64)
 
 
 register(SepGCPolicy.name, SepGCPolicy)

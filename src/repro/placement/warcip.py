@@ -51,6 +51,9 @@ class WarcipPolicy(PlacementPolicy):
     def gc_group(self) -> int:
         return self.num_clusters
 
+    def user_placement_gids(self) -> range:
+        return range(self.num_clusters)
+
     def place_user(self, lba: int, now_us: int) -> int:
         now = self.user_seq
         last = int(self._last_write[lba])
@@ -66,8 +69,64 @@ class WarcipPolicy(PlacementPolicy):
         self._centroids.sort()
         return cluster
 
+    def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
+                         start_seq: int) -> np.ndarray:
+        """Sequential by nature (every block nudges the centroids), but
+        runs the recurrence on plain Python floats and lists: with k ~ 5
+        the argmin scan and the insertion that keeps the centroids sorted
+        are cheaper than NumPy's per-call dispatch.  All arithmetic stays
+        IEEE double (Python floats == NumPy float64), ``<`` keeps
+        ``np.argmin``'s first-minimum tie-break, and in-batch duplicate
+        LBAs read the interval their predecessor just wrote, so the
+        result is bit-identical to the scalar loop.
+        """
+        lba_list = lbas.tolist()
+        lasts = self._last_write[lbas].tolist()
+        cents = self._centroids.tolist()
+        k = self.num_clusters
+        lr = self.learning_rate
+        log2 = math.log2
+        out = np.empty(len(lba_list), dtype=np.int64)
+        written: dict[int, int] = {}
+        for i, lba in enumerate(lba_list):
+            last = written.get(lba)
+            if last is None:
+                last = lasts[i]
+            written[lba] = now = start_seq + i
+            if last < 0:
+                out[i] = k - 1
+                continue
+            interval = log2(max(now - last, 1))
+            cluster = 0
+            best = abs(cents[0] - interval)
+            for c in range(1, k):
+                d = abs(cents[c] - interval)
+                if d < best:
+                    best = d
+                    cluster = c
+            out[i] = cluster
+            moved = cents[cluster] + lr * (interval - cents[cluster])
+            del cents[cluster]
+            lo, hi = 0, k - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cents[mid] < moved:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            cents.insert(lo, moved)
+        self._centroids = np.array(cents)
+        if written:
+            self._last_write[np.fromiter(written.keys(), dtype=np.int64)] = \
+                np.fromiter(written.values(), dtype=np.int64)
+        return out
+
     def place_gc(self, lba: int, victim_group: int, now_us: int) -> int:
         return self.gc_group
+
+    def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
+                       now_us: int) -> np.ndarray:
+        return np.full(int(lbas.shape[0]), self.gc_group, dtype=np.int64)
 
     def memory_bytes(self) -> int:
         return self._last_write.nbytes + self._centroids.nbytes

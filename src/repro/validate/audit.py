@@ -267,6 +267,25 @@ class InvariantAuditor:
         if self._since >= self.every_blocks:
             self.audit(store)
 
+    def on_user_batch(self, store: "LogStructuredStore",
+                      nblocks: int) -> None:
+        """Batch-cadence variant of :meth:`on_user_write`.
+
+        The batched replay engine applies user blocks in chunks and calls
+        this once per chunk.  The catalogue runs once (on the consistent
+        post-chunk state) whenever the chunk crossed the cadence, but
+        ``audits_run`` advances by every crossing the scalar path would
+        have audited, so the counter is engine-independent.
+        """
+        if not self.every_blocks or nblocks <= 0:
+            return
+        fires = (self._since + nblocks) // self.every_blocks
+        leftover = (self._since + nblocks) % self.every_blocks
+        if fires:
+            self.audit(store)
+            self.audits_run += fires - 1
+        self._since = leftover
+
     def on_finalize(self, store: "LogStructuredStore") -> None:
         self.audit(store)
 

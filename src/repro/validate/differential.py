@@ -147,12 +147,17 @@ def diff_stats(fast: LogStructuredStore,
 
 
 def run_cell(policy_name: str, trace: Trace, config: LSSConfig,
-             audit_every: int = 512) -> CellResult:
-    """Replay ``trace`` through both stores under ``policy_name``."""
+             audit_every: int = 512, engine: str = "batched") -> CellResult:
+    """Replay ``trace`` through both stores under ``policy_name``.
+
+    ``engine`` selects the fast store's replay engine (the oracle is
+    always the scalar dict model); the default exercises the batched
+    path so every sweep doubles as an engine-equivalence proof.
+    """
     auditor = InvariantAuditor(every_blocks=audit_every)
     fast = LogStructuredStore(config, make_policy(policy_name, config),
                               auditor=auditor)
-    fast.replay(trace)
+    fast.replay(trace, engine=engine)
     fast.check_invariants()
 
     oracle = OracleStore(config, make_policy(policy_name, config))
@@ -176,7 +181,8 @@ def run_differential(policies: list[str] | None = None,
                      num_requests: int = 1200,
                      victim: str = "greedy",
                      seed: int = 1,
-                     audit_every: int = 512) -> DifferentialReport:
+                     audit_every: int = 512,
+                     engine: str = "batched") -> DifferentialReport:
     """Sweep policies x workloads; every registered policy by default."""
     if policies is None:
         policies = available_policies()
@@ -187,7 +193,8 @@ def run_differential(policies: list[str] | None = None,
     for policy in policies:
         for trace in workloads:
             report.cells.append(run_cell(policy, trace, config,
-                                         audit_every=audit_every))
+                                         audit_every=audit_every,
+                                         engine=engine))
     return report
 
 

@@ -1,0 +1,141 @@
+"""The bench harness: measurement plumbing, snapshots, regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.scale import Scale
+from repro.perf.bench import (bench_filename, compare_bench,
+                              find_previous_bench, render_bench, run_bench,
+                              write_bench)
+
+TINY = Scale("t", num_volumes=1, volume_blocks=4096,
+             volume_requests=150, stats_volumes=1,
+             ycsb_blocks=4096, ycsb_writes=100)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path_factory, monkeypatch):
+    monkeypatch.setenv("ADAPT_REPRO_CACHE_DIR",
+                       str(tmp_path_factory.mktemp("cache")))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_bench(TINY, policies=["sepgc", "mida"],
+                     profiles=("ali",), repeats=1, date="2026-01-02")
+
+
+def test_run_bench_cells_and_speedups(result):
+    assert result["scale"] == "t" and result["date"] == "2026-01-02"
+    cells = result["cells"]
+    assert len(cells) == 2 * 1 * 2  # policies x profiles x engines
+    for c in cells:
+        assert c["user_blocks"] > 0
+        assert c["seconds"] > 0
+        assert c["blocks_per_sec"] == pytest.approx(
+            c["user_blocks"] / c["seconds"], rel=1e-3)
+    # Both engines replay the identical trace: same work counted.
+    by_pair = {}
+    for c in cells:
+        by_pair.setdefault((c["policy"], c["workload"]), set()).add(
+            c["user_blocks"])
+    assert all(len(v) == 1 for v in by_pair.values())
+    assert set(result["speedups"]) == {"sepgc/ali", "mida/ali"}
+
+
+def test_write_and_find_previous(result, tmp_path):
+    path = write_bench(result, str(tmp_path))
+    assert path.endswith(bench_filename("2026-01-02"))
+    loaded = json.loads(open(path).read())
+    assert loaded["cells"] == result["cells"]
+    # The snapshot itself must not become its own baseline.
+    assert find_previous_bench(str(tmp_path), exclude=path) is None
+    older = dict(result, date="2026-01-01")
+    old_path = write_bench(older, str(tmp_path))
+    assert find_previous_bench(str(tmp_path), exclude=path) == old_path
+    assert find_previous_bench(str(tmp_path / "missing")) is None
+
+
+def _snap(scale="t", **bps):
+    cells = [{"policy": p, "workload": "ali", "engine": "batched",
+              "seconds": 1.0, "user_blocks": 100, "blocks_per_sec": v}
+             for p, v in bps.items()]
+    return {"scale": scale, "cells": cells}
+
+
+def test_compare_bench_thresholds():
+    base = _snap(sepgc=1000.0, mida=1000.0)
+    # 20% drop passes a 25% gate, 60% drop fails it.
+    cur = _snap(sepgc=800.0, mida=400.0)
+    regs = compare_bench(cur, base, threshold=0.25)
+    assert [r["policy"] for r in regs] == ["mida"]
+    assert regs[0]["change"] == pytest.approx(-0.6)
+    # Tighter gate catches both; looser gate neither.
+    assert len(compare_bench(cur, base, threshold=0.1)) == 2
+    assert compare_bench(cur, base, threshold=0.7) == []
+    # Improvements never regress.
+    assert compare_bench(_snap(sepgc=2000.0), base, threshold=0.0) == []
+
+
+def test_compare_bench_ignores_mismatched_cells_and_scales():
+    base = _snap(sepgc=1000.0)
+    # New policy absent from the baseline: not comparable, not a failure.
+    assert compare_bench(_snap(warcip=1.0), base, threshold=0.25) == []
+    # Different scale = different workload, never compared.
+    assert compare_bench(_snap(scale="x", sepgc=1.0), base,
+                         threshold=0.25) == []
+    # Zero-throughput baseline cells are skipped, not divided by.
+    assert compare_bench(_snap(sepgc=1.0), _snap(sepgc=0.0),
+                         threshold=0.25) == []
+
+
+def test_render_bench_table_and_regressions(result):
+    out = render_bench(result)
+    assert "sepgc" in out and "mida" in out and "speedup" in out
+    regs = [{"policy": "sepgc", "workload": "ali", "engine": "batched",
+             "baseline_blocks_per_sec": 1000.0,
+             "current_blocks_per_sec": 400.0, "change": -0.6}]
+    out = render_bench(result, regs, baseline_path="BENCH_X.json")
+    assert "BENCH_X.json" in out and "-60.0%" in out
+    out = render_bench(result, [], baseline_path="BENCH_X.json")
+    assert "no cells regressed" in out
+
+
+def test_cli_bench_smoke(tmp_path, monkeypatch):
+    from repro.cli import main
+    monkeypatch.chdir(tmp_path)
+    rc = main(["bench", "--scale", "smoke", "--policies", "sepgc",
+               "--repeats", "1", "--engines", "batched",
+               "--out", str(tmp_path), "--no-trace-cache"])
+    assert rc == 0
+    snaps = list(tmp_path.glob("BENCH_*.json"))
+    assert len(snaps) == 1
+    snap = json.loads(snaps[0].read_text())
+    assert snap["scale"] == "smoke"
+    assert {c["policy"] for c in snap["cells"]} == {"sepgc"}
+
+
+def test_cli_bench_check_gate(tmp_path):
+    """--check exits non-zero against a fabricated much-faster baseline."""
+    from repro.cli import main
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "scale": "smoke",
+        "cells": [{"policy": "sepgc", "workload": "ali",
+                   "engine": "batched", "seconds": 1.0,
+                   "user_blocks": 100, "blocks_per_sec": 1e12}]}))
+    rc = main(["bench", "--scale", "smoke", "--policies", "sepgc",
+               "--repeats", "1", "--engines", "batched",
+               "--out", str(tmp_path), "--threshold", "0.5",
+               "--baseline", str(baseline), "--check",
+               "--no-trace-cache"])
+    assert rc == 1
+    # Without --check the same regression only reports, never fails.
+    rc = main(["bench", "--scale", "smoke", "--policies", "sepgc",
+               "--repeats", "1", "--engines", "batched",
+               "--out", str(tmp_path), "--threshold", "0.5",
+               "--baseline", str(baseline), "--no-trace-cache"])
+    assert rc == 0

@@ -1,0 +1,119 @@
+"""The on-disk synthetic-trace cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf import tracecache
+from repro.trace.model import OP_WRITE, Trace
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("ADAPT_REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("ADAPT_REPRO_NO_TRACE_CACHE", raising=False)
+    tracecache.set_enabled(True)
+    yield tmp_path
+
+
+def make_trace(n=64, seed=0, volume="vol"):
+    rng = np.random.default_rng(seed)
+    ts = np.cumsum(rng.integers(1, 50, size=n)).astype(np.int64)
+    ops = np.full(n, OP_WRITE, dtype=np.uint8)
+    offs = rng.integers(0, 512, size=n).astype(np.int64)
+    sizes = rng.integers(1, 8, size=n).astype(np.int64)
+    return Trace(ts, ops, offs, sizes, volume=volume)
+
+
+def assert_traces_equal(a, b):
+    assert a.volume == b.volume
+    assert (a.timestamps == b.timestamps).all()
+    assert (a.ops == b.ops).all()
+    assert (a.offsets == b.offsets).all()
+    assert (a.sizes == b.sizes).all()
+    for col in ("timestamps", "ops", "offsets", "sizes"):
+        assert getattr(a, col).dtype == getattr(b, col).dtype
+
+
+def test_roundtrip_preserves_columns_and_dtypes():
+    fleet = [make_trace(seed=i, volume=f"v{i}") for i in range(3)]
+    key = tracecache.fleet_key("gen", {"seed": 1})
+    path = tracecache.store_fleet(key, fleet)
+    assert path is not None and path.endswith(".npz")
+    loaded = tracecache.load_fleet(key)
+    assert loaded is not None and len(loaded) == 3
+    for a, b in zip(fleet, loaded):
+        assert_traces_equal(a, b)
+
+
+def test_key_distinguishes_params_and_seed():
+    k1 = tracecache.fleet_key("gen", {"blocks": 1024, "seed": 1})
+    k2 = tracecache.fleet_key("gen", {"blocks": 1024, "seed": 2})
+    k3 = tracecache.fleet_key("gen", {"blocks": 2048, "seed": 1})
+    k4 = tracecache.fleet_key("other", {"blocks": 1024, "seed": 1})
+    assert len({k1, k2, k3, k4}) == 4
+    # Key must not depend on dict insertion order.
+    assert k1 == tracecache.fleet_key("gen", {"seed": 1, "blocks": 1024})
+
+
+def test_cached_fleet_builds_once_then_hits():
+    calls = []
+
+    def build():
+        calls.append(1)
+        return [make_trace()]
+
+    fleet1 = tracecache.cached_fleet("gen", {"seed": 7}, build)
+    fleet2 = tracecache.cached_fleet("gen", {"seed": 7}, build)
+    assert len(calls) == 1
+    assert_traces_equal(fleet1[0], fleet2[0])
+    # A hit hands out fresh arrays, not aliases of earlier results.
+    assert fleet1[0].timestamps is not fleet2[0].timestamps
+
+
+def test_miss_on_unknown_key_and_corrupt_file(isolated_cache):
+    assert tracecache.load_fleet("0" * 64) is None
+    key = tracecache.fleet_key("gen", {"seed": 3})
+    path = tracecache.store_fleet(key, [make_trace()])
+    with open(path, "wb") as f:
+        f.write(b"not an npz")
+    assert tracecache.load_fleet(key) is None  # corrupt == miss, no raise
+
+
+def test_opt_outs(monkeypatch):
+    key = tracecache.fleet_key("gen", {"seed": 4})
+    tracecache.set_enabled(False)
+    try:
+        assert tracecache.store_fleet(key, [make_trace()]) is None
+        assert tracecache.load_fleet(key) is None
+        assert not tracecache.cache_enabled()
+    finally:
+        tracecache.set_enabled(True)
+    tracecache.store_fleet(key, [make_trace()])
+    monkeypatch.setenv("ADAPT_REPRO_NO_TRACE_CACHE", "1")
+    assert not tracecache.cache_enabled()
+    assert tracecache.load_fleet(key) is None
+
+
+def test_clear_removes_entries():
+    for seed in range(3):
+        tracecache.store_fleet(tracecache.fleet_key("g", {"s": seed}),
+                               [make_trace(seed=seed)])
+    assert tracecache.clear() == 3
+    assert tracecache.clear() == 0
+
+
+def test_workload_fleets_hit_the_cache(isolated_cache):
+    from repro.experiments import workloads
+    from repro.experiments.scale import Scale
+    tiny = Scale("t", num_volumes=1, volume_blocks=512,
+                 volume_requests=50, stats_volumes=1,
+                 ycsb_blocks=512, ycsb_writes=50)
+    workloads._fleet_cached.cache_clear()
+    fleet = workloads.fleet_for("ali", tiny)
+    workloads._fleet_cached.cache_clear()  # force the disk path
+    again = workloads.fleet_for("ali", tiny)
+    assert len(fleet) == len(again) == 1
+    assert_traces_equal(fleet[0], again[0])
+    assert (isolated_cache / "traces").exists()

@@ -1,0 +1,94 @@
+"""Property: batch boundaries are semantically invisible.
+
+The batched engine proves each chunk GC-free before placing it, and
+chunk feasibility is prefix-closed — so capping how many requests (or
+blocks) a chunk may span changes only *where* the replay is sliced,
+never the result.  These tests sweep arbitrary chunk caps, including
+degenerate one-request chunks, across every registered policy and check
+the full observable state (mapping, statistics, per-group traffic, RAID
+accounting, occupancy) against the scalar reference replay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lss.store import LogStructuredStore
+from repro.perf.engine import BatchedReplayEngine
+from repro.placement.registry import available_policies, make_policy
+from repro.validate.differential import (default_workloads,
+                                         differential_config)
+
+pytestmark = pytest.mark.property
+
+
+def scalar_reference(policy_name, trace):
+    cfg = differential_config()
+    store = LogStructuredStore(cfg, make_policy(policy_name, cfg))
+    store.replay(trace, engine="scalar")
+    return store
+
+
+def batched_with_caps(policy_name, trace, max_requests=None,
+                      max_blocks=65536):
+    cfg = differential_config()
+    store = LogStructuredStore(cfg, make_policy(policy_name, cfg))
+    BatchedReplayEngine(store, max_chunk_blocks=max_blocks,
+                        max_chunk_requests=max_requests).replay(trace)
+    return store
+
+
+def assert_same_state(ref, store):
+    assert (ref.mapping == store.mapping).all()
+    a, b = vars(ref.stats).copy(), vars(store.stats).copy()
+    ag, bg = a.pop("groups"), b.pop("groups")
+    ar, br = a.pop("raid"), b.pop("raid")
+    assert a == b
+    assert vars(ar) == vars(br)
+    for x, y in zip(ag, bg):
+        assert vars(x) == vars(y), x.name
+    assert (ref.group_occupancy() == store.group_occupancy()).all()
+    store.check_invariants()
+
+
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_arbitrary_request_caps_every_policy(policy_name):
+    """Chunks cut at arbitrary request boundaries reproduce the scalar
+    replay exactly, for every policy."""
+    trace = default_workloads(num_requests=400)[0]
+    ref = scalar_reference(policy_name, trace)
+    rng = np.random.default_rng(hash(policy_name) & 0xFFFF)
+    caps = [1, 2, 3, 7] + [int(c) for c in rng.integers(4, 200, size=3)]
+    for cap in caps:
+        store = batched_with_caps(policy_name, trace, max_requests=cap)
+        assert_same_state(ref, store)
+
+
+@pytest.mark.parametrize("policy_name", ["sepgc", "adapt", "warcip"])
+def test_arbitrary_block_caps(policy_name):
+    """Chunks cut by written-block budget instead of request count."""
+    trace = default_workloads(num_requests=400)[-1]  # YCSB-A
+    ref = scalar_reference(policy_name, trace)
+    for cap in (1, 3, 5, 16, 57):
+        store = batched_with_caps(policy_name, trace, max_blocks=cap)
+        assert_same_state(ref, store)
+
+
+def test_mixed_caps_update_heavy():
+    """Both caps at once on the churniest workload."""
+    trace = default_workloads(num_requests=500)[-1]
+    for policy_name in ("mida", "sepbit"):
+        ref = scalar_reference(policy_name, trace)
+        store = batched_with_caps(policy_name, trace, max_requests=11,
+                                  max_blocks=23)
+        assert_same_state(ref, store)
+
+
+def test_invalid_caps_rejected():
+    cfg = differential_config()
+    store = LogStructuredStore(cfg, make_policy("sepgc", cfg))
+    with pytest.raises(ValueError):
+        BatchedReplayEngine(store, max_chunk_requests=0)
+    with pytest.raises(ValueError):
+        BatchedReplayEngine(store, max_chunk_blocks=0)
