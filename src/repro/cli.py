@@ -8,7 +8,9 @@ Examples::
     adapt-repro replay --scheme adapt --profile ali --volumes 3
     adapt-repro replay --scheme adapt --metrics-out out/
     adapt-repro obs --scheme adapt --out obs-out/
+    adapt-repro obs --scheme adapt --no-trace --timeline-every 4096
     adapt-repro bench --scale default
+    adapt-repro bench --obs off,metrics --profile-out bench.trace.json
     REPRO_SCALE=smoke adapt-repro bench --check
 """
 
@@ -87,18 +89,24 @@ def _cmd_shared(args) -> str:
 
 
 def _export_observability(recorder, out_dir: str, stem: str) -> list[str]:
-    """Write the three observability artifacts for one replay; returns the
-    paths written."""
+    """Write the observability artifacts for one replay; returns the
+    paths written.  Exporters create parent directories and write
+    atomically, so ``out_dir`` may not exist yet."""
     from repro.obs.exporters import (write_events_jsonl, write_prometheus,
+                                     write_timeline_csv,
                                      write_timeseries_csv)
-    os.makedirs(out_dir, exist_ok=True)
     events = os.path.join(out_dir, f"{stem}.events.jsonl")
     series = os.path.join(out_dir, f"{stem}.timeseries.csv")
     prom = os.path.join(out_dir, f"{stem}.prom")
     write_events_jsonl(recorder.tracer, events)
     write_timeseries_csv(recorder, series)
     write_prometheus(recorder.registry, prom)
-    return [events, series, prom]
+    written = [events, series, prom]
+    if recorder.timeline is not None and len(recorder.timeline):
+        timeline = os.path.join(out_dir, f"{stem}.timeline.csv")
+        write_timeline_csv(recorder.timeline, timeline)
+        written.append(timeline)
+    return written
 
 
 def _cmd_replay(args) -> str:
@@ -116,7 +124,6 @@ def _cmd_replay(args) -> str:
         if args.metrics_out:
             spill = os.path.join(args.metrics_out,
                                  f"{trace.volume}.events.jsonl")
-            os.makedirs(args.metrics_out, exist_ok=True)
             recorder = ObsRecorder(spill_path=spill)
         r = replay_volume(args.scheme, trace, victim=args.victim,
                           logical_blocks=s.volume_blocks, seed=args.seed,
@@ -164,18 +171,30 @@ def _positive_int(text: str) -> int:
 
 
 def _cmd_obs(args) -> str:
-    """Replay one volume with full observability and export artifacts."""
+    """Replay one volume with observability and export artifacts.
+
+    Default mode traces every event (scalar replay).  ``--no-trace``
+    keeps only aggregated metrics, which is batch-capable and rides the
+    fast engine.  ``--timeline-every N`` additionally records a replay
+    timeline sampled every N user blocks.
+    """
     from repro.experiments.runner import replay_volume
     from repro.obs.recorder import ObsRecorder
+    from repro.obs.timeline import ReplayTimeline
     from repro.trace.synthetic.cloud import generate_fleet
     s = _get_scale(args.scale)
     trace = generate_fleet(args.profile, 1, unique_blocks=s.volume_blocks,
                            num_requests=s.volume_requests,
                            seed=args.seed)[0]
-    os.makedirs(args.out, exist_ok=True)
     spill = os.path.join(args.out, f"{trace.volume}.events.jsonl")
+    timeline = None
+    if args.timeline_every:
+        timeline = ReplayTimeline(every_blocks=args.timeline_every)
     recorder = ObsRecorder(sample_every_blocks=args.sample_every,
-                           spill_path=spill)
+                           spill_path=spill,
+                           trace_events=not args.no_trace,
+                           event_sample_every=args.event_sample_every,
+                           timeline=timeline)
     result = replay_volume(args.scheme, trace, victim=args.victim,
                            logical_blocks=s.volume_blocks, seed=args.seed,
                            recorder=recorder)
@@ -183,6 +202,8 @@ def _cmd_obs(args) -> str:
     counts = recorder.tracer.counts
     rows = [[k, counts[k]] for k in sorted(counts)]
     rows.append(["(series rows)", len(recorder.series)])
+    if timeline is not None:
+        rows.append(["(timeline rows)", len(timeline)])
     table = render_table(
         ["event", "count"], rows,
         title=f"{args.scheme} on {trace.volume}: "
@@ -209,8 +230,10 @@ def _cmd_bench(args) -> tuple[str, bool]:
         scale = scale_mod.current_scale("default")
     policies = args.policies.split(",") if args.policies else None
     engines = tuple(args.engines.split(","))
+    obs_modes = tuple(args.obs.split(","))
     result = run_bench(scale, policies=policies, engines=engines,
-                       repeats=args.repeats, seed=args.seed)
+                       repeats=args.repeats, seed=args.seed,
+                       obs_modes=obs_modes)
     path = write_bench(result, args.out)
     baseline_path = args.baseline or find_previous_bench(
         args.out, exclude=path)
@@ -250,10 +273,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    def add_profile_out(p):
+        p.add_argument("--profile-out", default=None, metavar="JSON",
+                       help="write a Chrome trace_event phase profile "
+                            "of the run to JSON (load in about:tracing "
+                            "or speedscope) and print the top phases")
+
     for name in _FIGS:
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--scale", default="smoke",
                        choices=["smoke", "default", "paper"])
+        add_profile_out(p)
 
     p = sub.add_parser("replay", help="replay one scheme on a fleet")
     p.add_argument("--scheme", default="adapt")
@@ -268,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export per-volume observability artifacts "
                         "(events JSONL, time-series CSV, Prometheus "
                         "snapshot) into DIR")
+    add_profile_out(p)
 
     p = sub.add_parser("obs", help="replay one volume with full "
                                    "observability and export artifacts")
@@ -283,6 +314,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-every", type=_positive_int, default=1024,
                    metavar="BLOCKS",
                    help="time-series sampling period in user blocks")
+    p.add_argument("--no-trace", action="store_true",
+                   help="skip per-event tracing; aggregated metrics only "
+                        "(batch-capable, so the fast engine is used)")
+    p.add_argument("--event-sample-every", type=_positive_int, default=1,
+                   metavar="N", help="keep every Nth traced event "
+                                     "(default: 1, keep all)")
+    p.add_argument("--timeline-every", type=_positive_int, default=None,
+                   metavar="BLOCKS",
+                   help="record a replay timeline (WA, padding, "
+                        "occupancy, threshold) every BLOCKS user blocks "
+                        "and export it as CSV")
+    add_profile_out(p)
 
     p = sub.add_parser("validate",
                        help="differential sweep: fast store vs the "
@@ -332,7 +375,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "the threshold")
     p.add_argument("--no-trace-cache", action="store_true",
                    help="bypass the on-disk synthetic-trace cache")
+    p.add_argument("--obs", default="off", metavar="M,M",
+                   help="comma-separated observability modes to bench "
+                        "(off, metrics, trace; default: off). trace "
+                        "cells run on the scalar engine only")
+    add_profile_out(p)
     return parser
+
+
+def _dispatch(args) -> tuple[str, bool]:
+    if args.command == "replay":
+        return _cmd_replay(args), True
+    if args.command == "obs":
+        return _cmd_obs(args), True
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    return _FIGS[args.command](args), True
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -341,22 +401,25 @@ def main(argv: list[str] | None = None) -> int:
         print("experiments:", ", ".join(sorted(_FIGS)),
               "+ replay, obs, validate, bench")
         return 0
-    if args.command == "replay":
-        print(_cmd_replay(args))
-        return 0
-    if args.command == "obs":
-        print(_cmd_obs(args))
-        return 0
-    if args.command == "validate":
-        out, ok = _cmd_validate(args)
+    profile_out = getattr(args, "profile_out", None)
+    if not profile_out:
+        out, ok = _dispatch(args)
         print(out)
         return 0 if ok else 1
-    if args.command == "bench":
-        out, ok = _cmd_bench(args)
-        print(out)
-        return 0 if ok else 1
-    print(_FIGS[args.command](args))
-    return 0
+    # Install a process-global phase profiler around the whole command;
+    # stores constructed during the run pick it up and report spans.
+    from repro.obs import profile as obs_profile
+    profiler = obs_profile.PhaseProfiler()
+    obs_profile.set_current(profiler)
+    try:
+        out, ok = _dispatch(args)
+    finally:
+        obs_profile.set_current(None)
+    profiler.write_chrome_trace(profile_out)
+    print(out)
+    print(profiler.top_table())
+    print(f"profile written: {profile_out}")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

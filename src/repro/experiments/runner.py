@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.lss.config import LSSConfig, default_segment_blocks
 from repro.lss.store import LogStructuredStore
+from repro.obs import profile as obs_profile
 from repro.obs.recorder import ObsRecorder
 from repro.placement.registry import make_policy
 from repro.trace.model import Trace
@@ -86,8 +87,10 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
     policy = make_policy(scheme, cfg, **policy_kwargs)
     if recorder is None and collect_metrics:
         recorder = ObsRecorder()
-    store = LogStructuredStore(cfg, policy, recorder=recorder)
-    stats = store.replay(trace, engine=engine)
+    with obs_profile.current().span(
+            f"cell:{scheme}:{trace.volume}", victim=victim):
+        store = LogStructuredStore(cfg, policy, recorder=recorder)
+        stats = store.replay(trace, engine=engine)
     groups: tuple[dict, ...] = ()
     occupancy: tuple[int, ...] = ()
     if collect_groups:
@@ -135,7 +138,10 @@ def run_matrix(schemes: list[str], traces: list[Trace],
                engine: str = "auto") -> list[VolumeResult]:
     """Sweep schemes x victims x traces; return the flat result list.
 
-    ``workers=None`` auto-selects: serial on one core, processes otherwise.
+    ``workers=None`` auto-selects: serial on one core, processes
+    otherwise — and always serial while a phase profiler is active
+    (worker processes cannot report spans back to the parent's
+    profiler; a silent parallel run would profile nothing).
     Every cell runs with the same ``seed`` (cells are distinguished by
     their scheme/victim/trace, not by RNG state), and metrics snapshots —
     which pickle cleanly across worker processes — are attached to each
@@ -145,7 +151,8 @@ def run_matrix(schemes: list[str], traces: list[Trace],
              collect_metrics, engine)
             for v in victims for s in schemes for t in traces]
     if workers is None:
-        workers = min(os.cpu_count() or 1, 8)
+        workers = 1 if obs_profile.current().enabled \
+            else min(os.cpu_count() or 1, 8)
     if workers <= 1 or len(jobs) == 1:
         return [_cell(j) for j in jobs]
     with ProcessPoolExecutor(max_workers=workers) as pool:

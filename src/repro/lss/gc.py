@@ -46,12 +46,13 @@ class GarbageCollector:
         store = self.store
         pool = store.pool
         reclaimed = 0
-        while pool.free_segments < store.config.gc_free_high:
-            victim = store.victim_policy.select(pool, store.user_seq)
-            if victim is None:
-                break  # no productive victim; stop rather than spin
-            self.clean_segment(victim, now_us)
-            reclaimed += 1
+        with store.profiler.span("gc"):
+            while pool.free_segments < store.config.gc_free_high:
+                victim = store.victim_policy.select(pool, store.user_seq)
+                if victim is None:
+                    break  # no productive victim; stop rather than spin
+                self.clean_segment(victim, now_us)
+                reclaimed += 1
         return reclaimed
 
     def clean_segment(self, victim: int, now_us: int) -> None:

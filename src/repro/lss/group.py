@@ -193,11 +193,11 @@ class Group:
         buffer and account its FULL flushes.
 
         With ``fast`` (no per-flush consumer: base ``on_chunk_flush``,
-        observability off, no flush listeners) the flushes are counted,
-        not materialized; the traffic and RAID updates below are exactly
-        what per-flush :meth:`_account_flush` calls would produce for
-        all-FULL flushes.  Otherwise each ChunkFlush goes through the
-        full accounting path.
+        observability off or batch-capable, no flush listeners) the
+        flushes are counted, not materialized; the traffic, RAID and
+        bulk-obs updates below are exactly what per-flush
+        :meth:`_account_flush` calls would produce for all-FULL flushes.
+        Otherwise each ChunkFlush goes through the full accounting path.
         """
         buf = self.buffer
         if not fast:
@@ -229,6 +229,10 @@ class Group:
         t.chunk_flushes += nf
         self._shadow_mark = 0
         self.store.stats.raid.add_chunk_ios(nf)
+        if self.store._obs_on:
+            self.store.obs.on_full_flush_bulk(
+                self.gid, self.spec.name, nf, buf.chunk_blocks,
+                ts_slice[-1])
 
     def _append_data(self, lba: int, now_us: int, kind: int) -> int:
         seg = self._ensure_open_segment()
@@ -255,13 +259,15 @@ class Group:
         """Deadline flush without materializing the :class:`ChunkFlush`.
 
         Only valid under the store's fast-flush conditions (base
-        ``on_chunk_flush``, observability off, no flush listeners) with
-        the deadline already checked as due — the counter updates below
-        are exactly what :meth:`poll_deadline` would produce then.
+        ``on_chunk_flush``, observability off or batch-capable, no flush
+        listeners) with the deadline already checked as due — the counter
+        and obs updates below are exactly what :meth:`poll_deadline`
+        would produce then.
         """
         buf = self.buffer
         tokens = buf._tokens
-        pad = buf.chunk_blocks - len(tokens)
+        data = len(tokens)
+        pad = buf.chunk_blocks - data
         t = self.traffic
         fu = fg = fs = 0
         for k, _lba in tokens:
@@ -284,6 +290,9 @@ class Group:
             self.store.pool.append_padding(self.open_seg, pad)
         self._shadow_mark = 0
         self.store.stats.raid.add_chunks(1)
+        if self.store._obs_on:
+            self.store.obs.on_deadline_flush(self.gid, self.spec.name,
+                                             data, pad, now_us)
         self._maybe_seal()
 
     def force_flush(self, now_us: int) -> ChunkFlush | None:

@@ -19,6 +19,7 @@ from repro.lss.group import Group, GroupKind
 from repro.lss.segment import SegmentPool
 from repro.lss.stats import StoreStats
 from repro.lss.victim import make_victim_policy
+from repro.obs import profile as obs_profile
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.trace.model import OP_WRITE, Trace
 
@@ -48,6 +49,16 @@ class LogStructuredStore:
         self.policy = policy
         self.obs = NULL_RECORDER if recorder is None else recorder
         self._obs_on = self.obs.enabled
+        #: Set by the batched engine around scalar bursts when the
+        #: recorder is batch-capable: per-block user-write hooks are
+        #: skipped and the burst reports one ``on_user_write_bulk`` at
+        #: its end (identical counter totals, chunk-granular cadence).
+        self._defer_user_obs = False
+        #: The process-global phase profiler, captured at construction so
+        #: replay/GC spans attribute to the profiler active when the run
+        #: was set up (NULL_PROFILER unless a CLI --profile-out or a test
+        #: installed one).
+        self.profiler = obs_profile.current()
         self._auditor = auditor
 
         specs = policy.group_specs()
@@ -60,12 +71,14 @@ class LogStructuredStore:
         self.mapping = np.full(config.logical_blocks, UNMAPPED,
                                dtype=np.int64)
         self.stats = StoreStats()
-        self.obs.bind_store(self)
         self.groups: list[Group] = []
         for gid, spec in enumerate(specs):
             group = Group(gid, spec, self)
             self.groups.append(group)
             self.stats.groups.append(group.traffic)
+        # Bind observability after groups exist: a recorder-attached
+        # timeline derives its occupancy columns from the group list.
+        self.obs.bind_store(self)
         self._sla_groups = [g for g in self.groups
                             if g.spec.kind in (GroupKind.USER,
                                                GroupKind.MIXED)]
@@ -89,18 +102,20 @@ class LogStructuredStore:
         #: see ``GarbageCollector.clean_segment``).  The scalar engine
         #: never sets it, keeping the per-block reference path intact.
         self.batched_mode = False
-        #: True when chunk flushes have no per-flush consumer beyond the
-        #: store's own accounting (policy keeps the base no-op
-        #: ``on_chunk_flush``/``before_padding_flush`` hooks and
-        #: observability is off): run appends may then account FULL
-        #: flushes in bulk and ``tick`` may fire deadlines through the
-        #: lean counted path instead of materializing each ChunkFlush.
+        #: True when chunk flushes have no consumer that needs the
+        #: materialized :class:`ChunkFlush` (policy keeps the base no-op
+        #: ``on_chunk_flush``/``before_padding_flush`` hooks, and
+        #: observability is either off or batch-capable — the bulk obs
+        #: hooks on the counted paths reproduce the per-flush metric
+        #: updates exactly): run appends may then account FULL flushes in
+        #: bulk and ``tick`` may fire deadlines through the lean counted
+        #: path instead of materializing each ChunkFlush.
         from repro.placement.base import PlacementPolicy
         self._fast_flush = (
             type(policy).on_chunk_flush is PlacementPolicy.on_chunk_flush
             and type(policy).before_padding_flush
             is PlacementPolicy.before_padding_flush
-            and not self._obs_on)
+            and (not self._obs_on or self.obs.batch_capable))
         #: Optional observers of physical events (e.g. the FTL bridge):
         #: called as fn(group, flush, device_lba_start) and fn(segment).
         self.flush_listeners: list = []
@@ -141,7 +156,7 @@ class LogStructuredStore:
         self.mapping[lba] = loc
         self.user_seq += 1
         self.stats.user_blocks_requested += 1
-        if self._obs_on:
+        if self._obs_on and not self._defer_user_obs:
             self.obs.on_user_write(lba, now_us)
         if self.gc.needed():
             self.gc.run(now_us)
@@ -268,6 +283,8 @@ class LogStructuredStore:
                 break
             self.tick(tick_at)
         self.stats.user_blocks_requested += n
+        if self._obs_on:
+            self.obs.on_user_write_bulk(n, lba_list[-1], ts_list[-1])
         # Deferred invalidation: first occurrences kill their pre-batch
         # location, later occurrences kill their predecessor's fresh slot.
         dup = prev >= 0
@@ -292,14 +309,18 @@ class LogStructuredStore:
             engine: ``"batched"`` (vectorized chunked replay,
                 ``repro.perf``), ``"scalar"`` (the per-request reference
                 loop), or ``"auto"`` (batched when its preconditions hold:
-                observability disabled and no flush listeners).  Both
-                engines produce bit-identical final state; the differential
-                suite enforces it against the oracle.
+                no flush listeners, and observability either off or
+                batch-capable — the default :class:`ObsRecorder` is; only
+                ``trace_events=True`` recorders fall back to the scalar
+                loop for their exact per-event cadence).  Both engines
+                produce bit-identical final state and metric totals; the
+                differential and obs-equivalence suites enforce it.
         """
         if engine not in ("auto", "batched", "scalar"):
             raise ValueError(f"unknown replay engine {engine!r}")
         if engine == "batched" or (
-                engine == "auto" and not self._obs_on
+                engine == "auto"
+                and (not self._obs_on or self.obs.batch_capable)
                 and not self.flush_listeners):
             from repro.perf.engine import BatchedReplayEngine
             return BatchedReplayEngine(self).replay(trace, finalize=finalize)
@@ -315,13 +336,14 @@ class LogStructuredStore:
 
     def finalize(self) -> None:
         """Flush every pending chunk (padded) at end of run."""
-        now = self.now_us + self.config.coalesce_window_us
-        for group in self.groups:
-            group.force_flush(now)
-        if self._obs_on:
-            self.obs.on_finalize(self.stats)
-        if self._auditor is not None:
-            self._auditor.on_finalize(self)
+        with self.profiler.span("finalize"):
+            now = self.now_us + self.config.coalesce_window_us
+            for group in self.groups:
+                group.force_flush(now)
+            if self._obs_on:
+                self.obs.on_finalize(self.stats)
+            if self._auditor is not None:
+                self._auditor.on_finalize(self)
 
     # ------------------------------------------------------------------
     # hooks and introspection

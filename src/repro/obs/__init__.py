@@ -1,23 +1,33 @@
-"""Observability: metrics, event tracing and exporters for the simulator.
+"""Observability: metrics, event tracing, profiling and exporters.
 
-The package has three layers:
+The package has five layers:
 
 * :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
   collected in a :class:`MetricsRegistry`;
 * :mod:`repro.obs.events` — a typed event tracer with an in-memory ring
-  buffer and optional JSONL spill;
+  buffer, optional JSONL spill, and ratio sampling;
 * :mod:`repro.obs.recorder` — the hook surface the simulator calls.  Every
   instrumented hot path holds a recorder; the default
   :data:`~repro.obs.recorder.NULL_RECORDER` makes each hook a no-op, so
-  instrumentation costs nothing unless an :class:`ObsRecorder` is attached.
+  instrumentation costs nothing unless an :class:`ObsRecorder` is
+  attached.  The default :class:`ObsRecorder` is *batch-capable*: the
+  batched replay engine drives it through chunk-aggregated bulk hooks
+  whose metric totals are bit-identical to the scalar per-event hooks;
+* :mod:`repro.obs.profile` — wall-clock phase spans with Chrome
+  ``trace_event`` and top-N table exports;
+* :mod:`repro.obs.timeline` — periodic per-N-blocks snapshots of WA,
+  padding, occupancy, and threshold position as a NumPy timeseries.
 
 Exporters (:mod:`repro.obs.exporters`) turn a recorder into artifacts: a
-JSONL event log, a CSV time-series of headline metrics, and a Prometheus
-text-format snapshot.
+JSONL event log, a CSV time-series of headline metrics, a Prometheus
+text-format snapshot, and timeline CSV/JSONL — all written atomically
+(:mod:`repro.obs.atomicio`).
 """
 
+from repro.obs.atomicio import atomic_write, ensure_parent
 from repro.obs.events import (
     EV_CHUNK_FLUSH,
+    EV_CHUNK_FLUSH_BULK,
     EV_DEMOTION,
     EV_GC_PASS,
     EV_LAZY_APPEND,
@@ -33,15 +43,25 @@ from repro.obs.exporters import (
     prometheus_text,
     write_events_jsonl,
     write_prometheus,
+    write_timeline_csv,
+    write_timeline_jsonl,
     write_timeseries_csv,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    PhaseProfiler,
+    current,
+    set_current,
+)
 from repro.obs.recorder import (
     NULL_RECORDER,
     SERIES_COLUMNS,
     NullRecorder,
     ObsRecorder,
 )
+from repro.obs.timeline import BASE_COLUMNS, ReplayTimeline
 
 __all__ = [
     "Counter",
@@ -53,6 +73,7 @@ __all__ = [
     "EVENT_TYPES",
     "EV_USER_WRITE",
     "EV_CHUNK_FLUSH",
+    "EV_CHUNK_FLUSH_BULK",
     "EV_PADDING",
     "EV_SHADOW_APPEND",
     "EV_LAZY_APPEND",
@@ -63,8 +84,19 @@ __all__ = [
     "NULL_RECORDER",
     "ObsRecorder",
     "SERIES_COLUMNS",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "PhaseProfiler",
+    "current",
+    "set_current",
+    "BASE_COLUMNS",
+    "ReplayTimeline",
+    "atomic_write",
+    "ensure_parent",
     "prometheus_text",
     "write_events_jsonl",
     "write_prometheus",
+    "write_timeline_csv",
+    "write_timeline_jsonl",
     "write_timeseries_csv",
 ]

@@ -16,14 +16,17 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, NamedTuple
 
 from repro.common.errors import ConfigError
 
 # Event types emitted by the instrumented simulator.
 EV_USER_WRITE = "user_write"
 EV_CHUNK_FLUSH = "chunk_flush"
+#: Aggregate record of N consecutive FULL chunk flushes of one group,
+#: emitted by the batched accounting paths instead of N ``chunk_flush``
+#: events (counters stay exact; the per-flush records are collapsed).
+EV_CHUNK_FLUSH_BULK = "chunk_flush_bulk"
 EV_PADDING = "padding"
 EV_SHADOW_APPEND = "shadow_append"
 EV_LAZY_APPEND = "lazy_append"
@@ -33,15 +36,19 @@ EV_THRESHOLD_SWITCH = "threshold_switch"
 EV_AUDIT_VIOLATION = "audit_violation"
 
 EVENT_TYPES: tuple[str, ...] = (
-    EV_USER_WRITE, EV_CHUNK_FLUSH, EV_PADDING, EV_SHADOW_APPEND,
-    EV_LAZY_APPEND, EV_GC_PASS, EV_DEMOTION, EV_THRESHOLD_SWITCH,
-    EV_AUDIT_VIOLATION,
+    EV_USER_WRITE, EV_CHUNK_FLUSH, EV_CHUNK_FLUSH_BULK, EV_PADDING,
+    EV_SHADOW_APPEND, EV_LAZY_APPEND, EV_GC_PASS, EV_DEMOTION,
+    EV_THRESHOLD_SWITCH, EV_AUDIT_VIOLATION,
 )
 
 
-@dataclass(frozen=True, slots=True)
-class Event:
-    """One traced occurrence."""
+class Event(NamedTuple):
+    """One traced occurrence.
+
+    A NamedTuple rather than a dataclass: events are constructed on the
+    instrumented hot path, and tuple construction is several times
+    cheaper than a frozen dataclass ``__init__``.
+    """
 
     seq: int
     time_us: int
@@ -57,23 +64,44 @@ class Event:
 
 
 class EventTracer:
-    """Bounded event buffer with optional JSONL spill-to-disk."""
+    """Bounded event buffer with optional JSONL spill-to-disk.
+
+    Args:
+        capacity: in-memory buffer size before spilling/dropping.
+        spill_path: optional JSONL file full buffers are appended to.
+        sample_every: ratio sampling — store only every Nth event of each
+            type (the first, the (N+1)th, ...).  Per-type ``counts`` stay
+            exact regardless; only the stored records thin out, which is
+            what makes event tracing affordable inside the batched replay
+            engine.  ``1`` (the default) stores everything.
+    """
 
     def __init__(self, capacity: int = 65_536,
-                 spill_path: str | None = None) -> None:
+                 spill_path: str | None = None,
+                 sample_every: int = 1) -> None:
         if capacity < 1:
             raise ConfigError("event capacity must be >= 1")
+        if sample_every < 1:
+            raise ConfigError("sample_every must be >= 1")
         self.capacity = capacity
         self.spill_path = spill_path
+        self.sample_every = sample_every
         self._buf: deque[Event] = deque()
         self._seq = 0
         self.dropped = 0
         self.spilled = 0
+        #: Events counted but not stored because of ratio sampling.
+        self.sampled_out = 0
         self._spill_started = False
         self.counts: dict[str, int] = {}
 
     def emit(self, type_: str, time_us: int, **fields: Any) -> None:
         """Record one event (fields must be JSON-serialisable)."""
+        n = self.counts.get(type_, 0) + 1
+        self.counts[type_] = n
+        if self.sample_every > 1 and (n - 1) % self.sample_every:
+            self.sampled_out += 1
+            return
         if len(self._buf) >= self.capacity:
             if self.spill_path is not None:
                 self.spill()
@@ -82,7 +110,6 @@ class EventTracer:
                 self.dropped += 1
         self._buf.append(Event(self._seq, time_us, type_, fields))
         self._seq += 1
-        self.counts[type_] = self.counts.get(type_, 0) + 1
 
     # ------------------------------------------------------------------
     # access
@@ -97,6 +124,8 @@ class EventTracer:
 
     @property
     def total_emitted(self) -> int:
+        """Events stored (buffered or spilled); under ratio sampling the
+        thinned-out events count in ``counts``/``sampled_out``, not here."""
         return self._seq
 
     def iter_type(self, type_: str) -> Iterator[Event]:
@@ -117,6 +146,9 @@ class EventTracer:
         if n == 0:
             return 0
         mode = "a" if self._spill_started else "w"
+        if not self._spill_started:
+            from repro.obs.atomicio import ensure_parent
+            ensure_parent(self.spill_path)
         self._spill_started = True
         with open(self.spill_path, mode, encoding="utf-8") as f:
             for ev in self._buf:

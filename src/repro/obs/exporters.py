@@ -1,6 +1,6 @@
 """Exporters: turn a recorder into on-disk artifacts.
 
-Three formats, one per consumer:
+One format per consumer:
 
 * **JSONL event log** — one JSON object per traced event, for replaying a
   run's timeline in a notebook or diffing two runs' behaviour.
@@ -9,22 +9,33 @@ Three formats, one per consumer:
   sampled, and matches :class:`StoreStats` to the bit.
 * **Prometheus text format** — a scrape-shaped snapshot of the metrics
   registry, so counters and histograms drop straight into existing
-  dashboards.
+  dashboards.  Histograms follow the exposition format exactly: cumulative
+  ``_bucket`` samples ending in ``le="+Inf"``, then ``_sum`` and
+  ``_count``; HELP text is escaped per the spec.
+* **Timeline CSV/JSONL** — a :class:`~repro.obs.timeline.ReplayTimeline`
+  as a spreadsheet-ready table or one JSON object per sample.
+
+Every writer goes through :mod:`repro.obs.atomicio`: parent directories
+are created and files land via tmp + rename, so an interrupted export
+never leaves a torn artifact (the JSONL spill appends in place by
+design, but its parent is created the same way).
 """
 
 from __future__ import annotations
 
 import csv
 import json
-import os
+import math
 from typing import TYPE_CHECKING
 
+from repro.obs.atomicio import atomic_write
 from repro.obs.metrics import Counter, Gauge, MetricsRegistry
 from repro.obs.recorder import SERIES_COLUMNS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.events import EventTracer
     from repro.obs.recorder import ObsRecorder
+    from repro.obs.timeline import ReplayTimeline
 
 
 def write_events_jsonl(tracer: "EventTracer", path: str) -> int:
@@ -34,13 +45,16 @@ def write_events_jsonl(tracer: "EventTracer", path: str) -> int:
     appended (completing the file); otherwise the in-memory events are
     written fresh.  Returns the number of events the file gained.
     """
+    import os
     if tracer.spill_path == path:
         written = tracer.spill()
         if not os.path.exists(path):  # zero-event run still yields a file
+            from repro.obs.atomicio import ensure_parent
+            ensure_parent(path)
             open(path, "w", encoding="utf-8").close()
         return written
     events = tracer.events
-    with open(path, "w", encoding="utf-8") as f:
+    with atomic_write(path) as f:
         for ev in events:
             f.write(json.dumps(ev.to_json_dict(),
                                separators=(",", ":")) + "\n")
@@ -49,11 +63,44 @@ def write_events_jsonl(tracer: "EventTracer", path: str) -> int:
 
 def write_timeseries_csv(recorder: "ObsRecorder", path: str) -> int:
     """Write the sampled time-series as CSV; returns the row count."""
-    with open(path, "w", encoding="utf-8", newline="") as f:
+    with atomic_write(path, newline="") as f:
         writer = csv.writer(f)
         writer.writerow(SERIES_COLUMNS)
         writer.writerows(recorder.series)
     return len(recorder.series)
+
+
+def _timeline_cell(value: float) -> float | int | None:
+    """CSV/JSON-friendly cell: integral floats as ints, NaN as None."""
+    if math.isnan(value):
+        return None
+    return int(value) if value.is_integer() else value
+
+
+def write_timeline_csv(timeline: "ReplayTimeline", path: str) -> int:
+    """Write a replay timeline as CSV; returns the row count.
+
+    NaN cells (a policy without a threshold) render as empty fields.
+    """
+    with atomic_write(path, newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(timeline.columns)
+        for row in timeline.rows:
+            writer.writerow(["" if (c := _timeline_cell(v)) is None else c
+                             for v in row.tolist()])
+    return len(timeline)
+
+
+def write_timeline_jsonl(timeline: "ReplayTimeline", path: str) -> int:
+    """Write a replay timeline as JSON Lines (one object per sample);
+    returns the row count.  NaN cells export as ``null``."""
+    columns = timeline.columns
+    with atomic_write(path) as f:
+        for row in timeline.rows:
+            obj = {k: _timeline_cell(v)
+                   for k, v in zip(columns, row.tolist())}
+            f.write(json.dumps(obj, separators=(",", ":")) + "\n")
+    return len(timeline)
 
 
 def _fmt(value: float) -> str:
@@ -62,12 +109,17 @@ def _fmt(value: float) -> str:
     return str(int(f)) if f.is_integer() else repr(f)
 
 
+def _escape_help(text: str) -> str:
+    """HELP escaping per the exposition format: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render the registry in the Prometheus text exposition format."""
     lines: list[str] = []
     for m in registry:
         if m.help:
-            lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# HELP {m.name} {_escape_help(m.help)}")
         lines.append(f"# TYPE {m.name} {m.kind}")
         if isinstance(m, (Counter, Gauge)):
             lines.append(f"{m.name} {_fmt(m.value)}")
@@ -82,5 +134,5 @@ def prometheus_text(registry: MetricsRegistry) -> str:
 
 
 def write_prometheus(registry: MetricsRegistry, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as f:
+    with atomic_write(path) as f:
         f.write(prometheus_text(registry))

@@ -21,6 +21,7 @@ from typing import Any
 from repro.obs.events import (
     EV_AUDIT_VIOLATION,
     EV_CHUNK_FLUSH,
+    EV_CHUNK_FLUSH_BULK,
     EV_DEMOTION,
     EV_GC_PASS,
     EV_LAZY_APPEND,
@@ -51,6 +52,14 @@ class NullRecorder:
     """
 
     enabled = False
+    #: Whether this recorder implements the bulk (chunk-aggregated) hook
+    #: contract — ``on_user_write_bulk``/``on_read_bulk``/
+    #: ``on_full_flush_bulk``/``on_deadline_flush`` producing totals
+    #: bit-identical to the per-event hooks.  ``False`` here on purpose:
+    #: a custom *enabled* recorder that merely subclasses this vocabulary
+    #: keeps the scalar replay engine (and its exact per-event hook
+    #: cadence) unless it opts in explicitly.
+    batch_capable = False
 
     # -- lifecycle ------------------------------------------------------
     def bind_store(self, store: Any) -> None:
@@ -92,12 +101,36 @@ class NullRecorder:
                            now_us: int) -> None:
         """An :class:`~repro.validate.InvariantAuditor` check failed."""
 
+    # -- bulk (chunk-aggregated) hooks ----------------------------------
+    # Called by the batched replay paths instead of N per-event calls;
+    # a batch-capable recorder must make each produce exactly the metric
+    # updates the equivalent per-event calls would.
+    def on_user_write_bulk(self, count: int, last_lba: int,
+                           now_us: int) -> None:
+        """``count`` user block writes were accepted; the last one wrote
+        ``last_lba`` at ``now_us``."""
+
+    def on_read_bulk(self, count: int, now_us: int) -> None:
+        """``count`` read requests were observed."""
+
+    def on_full_flush_bulk(self, gid: int, name: str, count: int,
+                           chunk_blocks: int, now_us: int) -> None:
+        """``count`` FULL chunk flushes of ``chunk_blocks`` data blocks
+        each (a FULL flush never pads) left one group's buffer."""
+
+    def on_deadline_flush(self, gid: int, name: str, data_blocks: int,
+                          padding_blocks: int, now_us: int) -> None:
+        """One SLA-deadline flush fired through the lean counted path."""
+
     # -- generic escape hatches -----------------------------------------
     def gauge(self, name: str, value: float) -> None:
         """Set a named gauge (no-op when disabled)."""
 
     def count(self, name: str, amount: float = 1) -> None:
         """Bump a named counter (no-op when disabled)."""
+
+    def inc_many(self, deltas: dict) -> None:
+        """Bump several named counters at once (no-op when disabled)."""
 
     def snapshot(self) -> dict | None:
         """Picklable summary of everything recorded (``None`` here)."""
@@ -112,14 +145,33 @@ NULL_RECORDER = NullRecorder()
 class ObsRecorder(NullRecorder):
     """Live recorder: metrics registry + event tracer + time-series.
 
+    By default the recorder is **batch-capable**: it implements the bulk
+    hooks with metric updates bit-identical to the per-event hooks, so
+    ``store.replay(engine="auto")`` keeps the batched engine (the obs-on
+    engine-equivalence suite proves the snapshots match).  Requesting
+    exact per-event traces (``trace_events=True``) gives up that — the
+    store documents the scalar fallback — while the default mode still
+    records events, just aggregated on the batched paths (a
+    ``chunk_flush_bulk`` record for a run of FULL flushes, a sampled
+    ``user_write`` marker per series row) and optionally ratio-sampled
+    via ``event_sample_every``.
+
     Args:
         sample_every_blocks: append one time-series row (and one sampled
             ``user_write`` marker event) every N accepted user blocks.
         event_capacity: in-memory event buffer size.
         spill_path: optional JSONL file full buffers are appended to.
         trace_user_writes: emit a ``user_write`` event for *every* block
-            (very chatty; off by default — the sampled markers plus the
-            counters carry the same information at a bounded cost).
+            (very chatty; implies ``trace_events``).
+        trace_events: demand the exact per-event stream — every
+            ``chunk_flush``, never an aggregate record.  Marks the
+            recorder not batch-capable, so ``engine="auto"`` falls back
+            to the scalar loop.
+        event_sample_every: ratio-sample the stored events (per-type
+            counts stay exact); forwarded to :class:`EventTracer`.
+        timeline: optional :class:`~repro.obs.timeline.ReplayTimeline`
+            to drive from this recorder's hooks (bound to the store and
+            finalized alongside the recorder).
     """
 
     enabled = True
@@ -127,13 +179,20 @@ class ObsRecorder(NullRecorder):
     def __init__(self, sample_every_blocks: int = 1024,
                  event_capacity: int = 65_536,
                  spill_path: str | None = None,
-                 trace_user_writes: bool = False) -> None:
+                 trace_user_writes: bool = False,
+                 trace_events: bool = False,
+                 event_sample_every: int = 1,
+                 timeline: Any = None) -> None:
         if sample_every_blocks < 1:
             raise ValueError("sample_every_blocks must be >= 1")
         self.sample_every_blocks = sample_every_blocks
         self.trace_user_writes = trace_user_writes
+        self.trace_events = trace_events or trace_user_writes
+        self.batch_capable = not self.trace_events
+        self.timeline = timeline
         self.registry = MetricsRegistry()
-        self.tracer = EventTracer(event_capacity, spill_path=spill_path)
+        self.tracer = EventTracer(event_capacity, spill_path=spill_path,
+                                  sample_every=event_sample_every)
         self.series: list[tuple] = []
         self._store: Any = None
 
@@ -188,14 +247,19 @@ class ObsRecorder(NullRecorder):
         g = self.registry.gauge("lss_logical_blocks",
                                 "configured logical address space")
         g.set(store.config.logical_blocks)
+        if self.timeline is not None:
+            self.timeline.bind(store)
 
     def on_finalize(self, stats: Any) -> None:
         # Always close the series with an exact final row: exporters and
         # tests rely on the last row matching StoreStats to the bit.
-        self._sample_row(getattr(self._store, "now_us", 0), stats)
+        now_us = getattr(self._store, "now_us", 0)
+        self._sample_row(now_us, stats)
         self.gauge("lss_write_amplification", stats.write_amplification())
         self.gauge("lss_padding_traffic_ratio", stats.padding_traffic_ratio())
         self.gauge("lss_gc_traffic_ratio", stats.gc_traffic_ratio())
+        if self.timeline is not None:
+            self.timeline.finalize(now_us)
 
     # ------------------------------------------------------------------
     # hot-path hooks
@@ -213,9 +277,61 @@ class ObsRecorder(NullRecorder):
                     self.tracer.emit(
                         EV_USER_WRITE, now_us, lba=lba,
                         user_blocks=int(self._user_blocks.value))
+        if self.timeline is not None:
+            self.timeline.maybe_sample(now_us)
 
     def on_read(self, offset: int, now_us: int) -> None:
         self._reads.value += 1
+
+    # -- bulk (chunk-aggregated) hooks ----------------------------------
+    def on_user_write_bulk(self, count: int, last_lba: int,
+                           now_us: int) -> None:
+        ub = self._user_blocks
+        before = int(ub.value)
+        ub.value += count
+        after = before + count
+        se = self.sample_every_blocks
+        if after // se > before // se:
+            # The batch crossed at least one sampling boundary: one row
+            # at the batch edge (chunk-granular; the final finalize row
+            # stays exact under every engine).
+            stats = self._store.stats if self._store is not None else None
+            if stats is not None:
+                self._sample_row(now_us, stats)
+                self.tracer.emit(EV_USER_WRITE, now_us, lba=last_lba,
+                                 user_blocks=after)
+        if self.timeline is not None:
+            self.timeline.maybe_sample(now_us)
+
+    def on_read_bulk(self, count: int, now_us: int) -> None:
+        self._reads.value += count
+
+    def on_full_flush_bulk(self, gid: int, name: str, count: int,
+                           chunk_blocks: int, now_us: int) -> None:
+        # Identical totals to `count` on_chunk_flush calls for FULL
+        # flushes (data == chunk_blocks, no padding), collapsed into one
+        # aggregate event record.
+        self._flush_full.value += count
+        self._data_blocks.value += count * chunk_blocks
+        self._h_fill.observe_bulk(chunk_blocks, count)
+        self.tracer.emit(EV_CHUNK_FLUSH_BULK, now_us, group=gid, name=name,
+                         flushes=count, data_blocks=count * chunk_blocks)
+
+    def on_deadline_flush(self, gid: int, name: str, data_blocks: int,
+                          padding_blocks: int, now_us: int) -> None:
+        # Mirrors on_chunk_flush for a DEADLINE flush, fed from the lean
+        # counted fire path that never materializes the ChunkFlush.
+        self._flush_deadline.value += 1
+        self._data_blocks.value += data_blocks
+        self._h_fill.observe(data_blocks)
+        self.tracer.emit(EV_CHUNK_FLUSH, now_us, group=gid, name=name,
+                         reason="deadline", data_blocks=data_blocks,
+                         padding_blocks=padding_blocks)
+        if padding_blocks:
+            self._padding_blocks.value += padding_blocks
+            self._h_padding.observe(padding_blocks)
+            self.tracer.emit(EV_PADDING, now_us, group=gid, name=name,
+                             blocks=padding_blocks, reason="deadline")
 
     def on_chunk_flush(self, gid: int, name: str, flush: Any) -> None:
         reason = flush.reason.value
@@ -285,6 +401,11 @@ class ObsRecorder(NullRecorder):
     def count(self, name: str, amount: float = 1) -> None:
         self.registry.counter(name).inc(amount)
 
+    def inc_many(self, deltas: dict) -> None:
+        counter = self.registry.counter
+        for name, amount in deltas.items():
+            counter(name).inc(amount)
+
     # ------------------------------------------------------------------
     # time-series + snapshot
     # ------------------------------------------------------------------
@@ -312,7 +433,10 @@ class ObsRecorder(NullRecorder):
         snap["events"] = dict(self.tracer.counts)
         snap["events_dropped"] = self.tracer.dropped
         snap["events_spilled"] = self.tracer.spilled
+        snap["events_sampled_out"] = self.tracer.sampled_out
         snap["series_rows"] = len(self.series)
         snap["final"] = (dict(zip(SERIES_COLUMNS, self.series[-1]))
                          if self.series else None)
+        if self.timeline is not None:
+            snap["timeline_rows"] = len(self.timeline)
         return snap

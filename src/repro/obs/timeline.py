@@ -1,0 +1,135 @@
+"""Replay timelines: a compact time axis for whole-run statistics.
+
+End-of-run :class:`~repro.lss.stats.StoreStats` answers *where a run
+ended up*; a :class:`ReplayTimeline` answers *how it got there*.  Bound
+to a recorder, it snapshots the store every ``every_blocks`` accepted
+user blocks — write amplification, zero-padding ratio, GC traffic ratio,
+the placement policy's threshold position (NaN for policies without
+one), free segments, and per-group occupancy — into one growing NumPy
+matrix, then appends one exact final row at finalize.  The result is a
+figure-ready timeseries (the paper's §4 trajectories) at a few hundred
+bytes per sample.  Sampling keys off the user-block clock; under the
+batched engine the recorder checks it at chunk boundaries rather than
+per block, so intermediate row positions are chunk-granular there (the
+engine-equivalence contract covers metric totals, not sampling cadence)
+while the final row is exact under every engine.
+
+Export helpers live in :mod:`repro.obs.exporters`
+(:func:`~repro.obs.exporters.write_timeline_csv`,
+:func:`~repro.obs.exporters.write_timeline_jsonl`).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+#: Columns every timeline starts with; per-group ``occ_<name>`` columns
+#: follow when occupancy capture is on.
+BASE_COLUMNS: tuple[str, ...] = (
+    "user_blocks", "time_us", "write_amplification", "padding_ratio",
+    "gc_ratio", "threshold", "free_segments",
+)
+
+
+class ReplayTimeline:
+    """Periodic per-N-blocks store snapshots as a float64 matrix.
+
+    Args:
+        every_blocks: sampling period on the user-block clock.
+        capture_occupancy: append one ``occ_<group>`` column per group
+            (blocks resident per group, the Fig 3b distribution over
+            time).  Occupancy is a vectorized bincount over the segment
+            pool — cheap, but not free; disable for the leanest timeline.
+    """
+
+    def __init__(self, every_blocks: int = 4096,
+                 capture_occupancy: bool = True) -> None:
+        if every_blocks < 1:
+            raise ValueError("every_blocks must be >= 1")
+        self.every_blocks = every_blocks
+        self.capture_occupancy = capture_occupancy
+        self._store: Any = None
+        self._columns: tuple[str, ...] = BASE_COLUMNS
+        self._buf = np.empty((0, len(BASE_COLUMNS)), dtype=np.float64)
+        self._n = 0
+        self._next = every_blocks
+
+    # ------------------------------------------------------------------
+    # lifecycle (driven by the owning recorder)
+    # ------------------------------------------------------------------
+    def bind(self, store: Any) -> None:
+        """Attach to a store; resets any previously collected rows."""
+        self._store = store
+        occ = tuple(f"occ_{g.spec.name}" for g in store.groups) \
+            if self.capture_occupancy else ()
+        self._columns = BASE_COLUMNS + occ
+        self._buf = np.empty((64, len(self._columns)), dtype=np.float64)
+        self._n = 0
+        self._next = self.every_blocks
+
+    def maybe_sample(self, now_us: int) -> None:
+        """Sample iff the user-block clock crossed the next period."""
+        store = self._store
+        if store is None:
+            return
+        blocks = store.stats.user_blocks_requested
+        if blocks < self._next:
+            return
+        self._sample(now_us)
+        self._next = (blocks // self.every_blocks + 1) * self.every_blocks
+
+    def finalize(self, now_us: int) -> None:
+        """Append the exact end-of-run row (post force-flush)."""
+        if self._store is not None:
+            self._sample(now_us)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self._columns
+
+    @property
+    def rows(self) -> np.ndarray:
+        """View of the collected rows, shape ``(n, len(columns))``."""
+        return self._buf[:self._n]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Column-name -> 1-D array copies (notebook/figure consumption)."""
+        rows = self.rows
+        return {name: rows[:, i].copy()
+                for i, name in enumerate(self._columns)}
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _sample(self, now_us: int) -> None:
+        store = self._store
+        stats = store.stats
+        row = [
+            float(stats.user_blocks_requested),
+            float(now_us),
+            float(stats.write_amplification()),
+            float(stats.padding_traffic_ratio()),
+            float(stats.gc_traffic_ratio()),
+            float(getattr(store.policy, "threshold", np.nan)),
+            float(store.pool.free_segments),
+        ]
+        if self.capture_occupancy:
+            row.extend(store.group_occupancy().tolist())
+        if self._n == self._buf.shape[0]:
+            grown = np.empty((max(64, self._buf.shape[0] * 2),
+                              self._buf.shape[1]), dtype=np.float64)
+            grown[:self._n] = self._buf[:self._n]
+            self._buf = grown
+        self._buf[self._n] = row
+        self._n += 1
+
+
+__all__ = ["BASE_COLUMNS", "ReplayTimeline"]

@@ -13,6 +13,13 @@ and keeps the best wall-clock run — the quantity under test is the
 engine's cost, not the machine's scheduling noise — and the same cached
 trace objects are reused across every cell so generation never pollutes
 the measurement.
+
+Observability modes form a third axis (``obs_modes``): ``off`` (no
+recorder), ``metrics`` (default batch-capable :class:`ObsRecorder`), and
+``trace`` (``trace_events=True``, scalar engine only — the batched
+engine rejects per-event tracing, so trace x batched cells are skipped).
+The snapshot's ``obs_overhead`` section reports the metrics-mode
+slowdown factor (off-throughput over metrics-throughput) per cell.
 """
 
 from __future__ import annotations
@@ -30,15 +37,19 @@ from repro.lss.store import LogStructuredStore
 from repro.placement.registry import available_policies, make_policy
 
 #: Snapshot format version (bump on incompatible layout changes).
-SCHEMA_VERSION = 1
+#: v2: cells carry an ``obs`` mode, snapshots an ``obs_overhead`` map.
+SCHEMA_VERSION = 2
 
 #: Default fractional throughput drop that counts as a regression.
 DEFAULT_THRESHOLD = 0.25
 
+#: Valid observability modes for the bench axis.
+OBS_MODES = ("off", "metrics", "trace")
+
 
 @dataclass(frozen=True)
 class BenchCell:
-    """One (policy, workload, engine) throughput measurement."""
+    """One (policy, workload, engine, obs) throughput measurement."""
 
     policy: str
     workload: str
@@ -46,6 +57,19 @@ class BenchCell:
     seconds: float
     user_blocks: int
     blocks_per_sec: float
+    obs: str = "off"
+
+
+def _make_recorder(obs: str):
+    """Fresh recorder for one timed replay (``None`` when obs is off)."""
+    if obs == "off":
+        return None
+    from repro.obs.recorder import ObsRecorder
+    if obs == "metrics":
+        return ObsRecorder()
+    if obs == "trace":
+        return ObsRecorder(trace_events=True)
+    raise ValueError(f"unknown obs mode {obs!r}; choose from {OBS_MODES}")
 
 
 def run_bench(scale: Scale,
@@ -54,39 +78,53 @@ def run_bench(scale: Scale,
               engines: tuple[str, ...] = ("scalar", "batched"),
               repeats: int = 2,
               seed: int = 0,
-              date: str | None = None) -> dict:
+              date: str | None = None,
+              obs_modes: tuple[str, ...] = ("off",)) -> dict:
     """Run the full bench matrix; returns the snapshot dict.
 
     One volume per profile (the first of the standard experiment fleet,
-    so the trace cache is shared with the figure drivers).
+    so the trace cache is shared with the figure drivers).  ``obs_modes``
+    adds instrumented cells; ``trace`` cells only run on the scalar
+    engine (the batched engine rejects per-event tracing).
     """
     from repro.experiments.runner import store_config_for
     if policies is None:
         policies = available_policies()
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    for mode in obs_modes:
+        if mode not in OBS_MODES:
+            raise ValueError(
+                f"unknown obs mode {mode!r}; choose from {OBS_MODES}")
     traces = {p: fleet_for(p, scale)[0] for p in profiles}
     cells: list[BenchCell] = []
     for policy_name in policies:
         for profile in profiles:
             trace = traces[profile]
             for engine in engines:
-                best = None
-                blocks = 0
-                for _ in range(repeats):
-                    cfg = store_config_for(scale.volume_blocks, seed=seed)
-                    store = LogStructuredStore(
-                        cfg, make_policy(policy_name, cfg))
-                    t0 = time.perf_counter()
-                    stats = store.replay(trace, engine=engine)
-                    dt = time.perf_counter() - t0
-                    blocks = stats.user_blocks_requested
-                    if best is None or dt < best:
-                        best = dt
-                cells.append(BenchCell(
-                    policy=policy_name, workload=profile, engine=engine,
-                    seconds=round(best, 6), user_blocks=blocks,
-                    blocks_per_sec=round(blocks / best, 1) if best else 0.0))
+                for obs in obs_modes:
+                    if obs == "trace" and engine == "batched":
+                        continue
+                    best = None
+                    blocks = 0
+                    for _ in range(repeats):
+                        cfg = store_config_for(scale.volume_blocks,
+                                               seed=seed)
+                        store = LogStructuredStore(
+                            cfg, make_policy(policy_name, cfg),
+                            recorder=_make_recorder(obs))
+                        t0 = time.perf_counter()
+                        stats = store.replay(trace, engine=engine)
+                        dt = time.perf_counter() - t0
+                        blocks = stats.user_blocks_requested
+                        if best is None or dt < best:
+                            best = dt
+                    cells.append(BenchCell(
+                        policy=policy_name, workload=profile,
+                        engine=engine, obs=obs,
+                        seconds=round(best, 6), user_blocks=blocks,
+                        blocks_per_sec=round(blocks / best, 1)
+                        if best else 0.0))
     return {
         "schema": SCHEMA_VERSION,
         "date": date or time.strftime("%Y-%m-%d"),
@@ -97,13 +135,20 @@ def run_bench(scale: Scale,
         "platform": platform.platform(),
         "cells": [asdict(c) for c in cells],
         "speedups": _speedups(cells),
+        "obs_overhead": _obs_overhead(cells),
     }
 
 
 def _speedups(cells: list[BenchCell]) -> dict[str, float]:
-    """batched-over-scalar throughput ratio per (policy, workload)."""
+    """batched-over-scalar throughput ratio per (policy, workload).
+
+    Only uninstrumented cells count — the engine comparison must not be
+    polluted by recorder overhead.
+    """
     by_key: dict[tuple[str, str], dict[str, float]] = {}
     for c in cells:
+        if c.obs != "off":
+            continue
         by_key.setdefault((c.policy, c.workload), {})[c.engine] = \
             c.blocks_per_sec
     out = {}
@@ -114,15 +159,31 @@ def _speedups(cells: list[BenchCell]) -> dict[str, float]:
     return out
 
 
+def _obs_overhead(cells: list[BenchCell]) -> dict[str, float]:
+    """Metrics-mode slowdown (off blk/s over metrics blk/s) per
+    (policy, workload, engine); 1.0 means free instrumentation."""
+    by_key: dict[tuple[str, str, str], dict[str, float]] = {}
+    for c in cells:
+        by_key.setdefault((c.policy, c.workload, c.engine), {})[c.obs] = \
+            c.blocks_per_sec
+    out = {}
+    for (policy, workload, engine), modes in sorted(by_key.items()):
+        if modes.get("off") and modes.get("metrics"):
+            out[f"{policy}/{workload}/{engine}"] = round(
+                modes["off"] / modes["metrics"], 3)
+    return out
+
+
 def bench_filename(date: str) -> str:
     return f"BENCH_{date.replace('-', '')}.json"
 
 
 def write_bench(result: dict, out_dir: str = ".") -> str:
     """Write the snapshot as ``BENCH_<date>.json`` in ``out_dir``."""
+    from repro.obs.atomicio import atomic_write
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, bench_filename(result["date"]))
-    with open(path, "w") as f:
+    with atomic_write(path) as f:
         json.dump(result, f, indent=2, sort_keys=True)
         f.write("\n")
     return path
@@ -146,25 +207,29 @@ def compare_bench(current: dict, baseline: dict,
                   threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
     """Cells whose throughput regressed by more than ``threshold``.
 
-    Cells are matched on (policy, workload, engine); cells present in
-    only one snapshot are ignored (policies and profiles may come and
-    go).  Snapshots from different scales never compare — a scale change
-    is a workload change, not a regression.
+    Cells are matched on (policy, workload, engine, obs); cells present
+    in only one snapshot are ignored (policies and profiles may come and
+    go).  Schema-1 baselines have no ``obs`` field — their cells compare
+    as ``off``, which is what they measured.  Snapshots from different
+    scales never compare — a scale change is a workload change, not a
+    regression.
     """
     if current.get("scale") != baseline.get("scale"):
         return []
-    base = {(c["policy"], c["workload"], c["engine"]): c
+    base = {(c["policy"], c["workload"], c["engine"],
+             c.get("obs", "off")): c
             for c in baseline.get("cells", [])}
     regressions = []
     for c in current.get("cells", []):
-        b = base.get((c["policy"], c["workload"], c["engine"]))
+        b = base.get((c["policy"], c["workload"], c["engine"],
+                      c.get("obs", "off")))
         if b is None or not b["blocks_per_sec"]:
             continue
         change = c["blocks_per_sec"] / b["blocks_per_sec"] - 1.0
         if change < -threshold:
             regressions.append({
                 "policy": c["policy"], "workload": c["workload"],
-                "engine": c["engine"],
+                "engine": c["engine"], "obs": c.get("obs", "off"),
                 "baseline_blocks_per_sec": b["blocks_per_sec"],
                 "current_blocks_per_sec": c["blocks_per_sec"],
                 "change": round(change, 4),
@@ -175,10 +240,17 @@ def compare_bench(current: dict, baseline: dict,
 def render_bench(result: dict,
                  regressions: list[dict] | None = None,
                  baseline_path: str | None = None) -> str:
-    """Human-readable table for the CLI and CI logs."""
+    """Human-readable table for the CLI and CI logs.
+
+    The main table shows uninstrumented (``obs=off``) throughput; when
+    the snapshot has instrumented cells, a second block lists the
+    metrics-mode overhead factors.
+    """
     from repro.experiments.report import render_table
     by_key: dict[tuple[str, str], dict[str, dict]] = {}
     for c in result["cells"]:
+        if c.get("obs", "off") != "off":
+            continue
         by_key.setdefault((c["policy"], c["workload"]), {})[c["engine"]] = c
     rows = []
     for (policy, workload), eng in sorted(by_key.items()):
@@ -194,6 +266,13 @@ def render_bench(result: dict,
         rows,
         title=f"replay throughput ({result['scale']} scale, best of "
               f"{result['repeats']})")
+    overhead = result.get("obs_overhead") or {}
+    if overhead:
+        worst = max(overhead.values())
+        out += (f"\nmetrics-mode overhead (off/metrics blk/s, "
+                f"worst {worst:.3f}x):")
+        for key, factor in sorted(overhead.items()):
+            out += f"\n  {key}: {factor:.3f}x"
     if regressions is None:
         return out
     if baseline_path:
@@ -210,6 +289,6 @@ def render_bench(result: dict,
     return out
 
 
-__all__ = ["BenchCell", "DEFAULT_THRESHOLD", "SCHEMA_VERSION",
+__all__ = ["BenchCell", "DEFAULT_THRESHOLD", "OBS_MODES", "SCHEMA_VERSION",
            "bench_filename", "compare_bench", "find_previous_bench",
            "render_bench", "run_bench", "write_bench"]

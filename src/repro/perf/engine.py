@@ -48,10 +48,16 @@ gates the vectorized GC-migration path in
 accounting in :meth:`~repro.lss.group.Group.append_user_run`; the scalar
 engine never sets it and keeps the pure per-block reference path.
 
-Preconditions: observability disabled and no flush listeners (the FTL
-bridge) — per-block event emission cannot be batched.  The invariant
-auditor is supported at chunk cadence.  ``store.replay(engine="auto")``
-checks both and falls back to the scalar loop.
+Preconditions: no flush listeners (the FTL bridge), and observability
+either disabled or **batch-capable** (the default
+:class:`~repro.obs.ObsRecorder`): the engine and the store's bulk append
+paths then feed the recorder chunk-aggregated hooks whose metric totals
+are bit-identical to the scalar per-event hooks — the obs-on
+engine-equivalence suite compares ``MetricsRegistry.snapshot()`` across
+engines to prove it.  Recorders demanding the exact per-event stream
+(``trace_events=True``) are rejected; ``store.replay(engine="auto")``
+checks all of this and falls back to the scalar loop.  The invariant
+auditor is supported at chunk cadence.
 """
 
 from __future__ import annotations
@@ -89,10 +95,15 @@ class BatchedReplayEngine:
 
     def __init__(self, store, max_chunk_blocks: int = 65536,
                  max_chunk_requests: int | None = None) -> None:
-        if store._obs_on or store.flush_listeners:
+        if store.flush_listeners:
             raise ValueError(
-                "batched replay requires observability disabled and no "
-                "flush listeners; use replay(engine='scalar')")
+                "batched replay requires no flush listeners; "
+                "use replay(engine='scalar')")
+        if store._obs_on and not store.obs.batch_capable:
+            raise ValueError(
+                "batched replay requires a batch-capable recorder; "
+                "per-event observability (trace_events=True) needs "
+                "replay(engine='scalar')")
         if max_chunk_blocks < 1:
             raise ValueError("max_chunk_blocks must be >= 1")
         if max_chunk_requests is not None and max_chunk_requests < 1:
@@ -121,7 +132,9 @@ class BatchedReplayEngine:
     # ------------------------------------------------------------------
     def replay(self, trace: Trace, finalize: bool = True):
         store = self.store
-        ex = expand_trace(trace, store.config.logical_blocks)
+        prof = store.profiler
+        with prof.span("expand"):
+            ex = expand_trace(trace, store.config.logical_blocks)
         n = ex.num_requests
         window = store.config.coalesce_window_us
         cb = store.config.chunk.chunk_blocks
@@ -151,30 +164,36 @@ class BatchedReplayEngine:
             self._widx = widx.tolist()
             self._wts = wts.tolist()
             self._wgap = np.cumsum(gaps).tolist()
+        obs_on = store._obs_on
         store.batched_mode = True
         try:
             i = 0
             while i < n:
                 store.tick(ts[i])
-                if single:
-                    j, gids = self._build_chunk_single(ex, i, window)
-                elif idle_sla or not has_sla:
-                    j, gids = self._build_chunk(ex, i, window)
-                else:
-                    j = self._deadline_free_span(ex, i, ts[i], window)
-                    gids = None
+                with prof.span("chunk_build"):
+                    if single:
+                        j, gids = self._build_chunk_single(ex, i, window)
+                    elif idle_sla or not has_sla:
+                        j, gids = self._build_chunk(ex, i, window)
+                    else:
+                        j = self._deadline_free_span(ex, i, ts[i], window)
+                        gids = None
                 if j <= i:
                     # Not even the current request is provably GC-free:
                     # scalar burst, where GC fires natively.  The tick for
                     # request i already ran above — re-ticking could
                     # double-fire a deadline the policy re-armed during
                     # the first scan.
-                    i = self._scalar_burst(i)
+                    with prof.span("scalar_burst"):
+                        i = self._scalar_burst(i)
                     continue
                 # -- apply the chunk ---------------------------------------
                 nwrites = self._wb[j] - self._wb[i]
+                nreads = (j - i) - nwrites
                 stats.write_requests += nwrites
-                stats.read_requests += (j - i) - nwrites
+                stats.read_requests += nreads
+                if obs_on and nreads:
+                    store.obs.on_read_bulk(nreads, ts[j - 1])
                 wb0, wb1 = bs[i], bs[j]
                 if wb1 > wb0:
                     lbas = ex.lbas[wb0:wb1]
@@ -184,8 +203,9 @@ class BatchedReplayEngine:
                             lbas, bts, store.user_seq)
                     splitter = self._make_splitter(ex, i, j, gids, window,
                                                    cb) if idle_sla else None
-                    store.apply_user_batch(lbas, bts, gids,
-                                           splitter=splitter)
+                    with prof.span("apply"):
+                        store.apply_user_batch(lbas, bts, gids,
+                                               splitter=splitter)
                 elif idle_sla:
                     # Read-only chunk: no appends can arm anything new, but
                     # already-armed deadlines still fire at the scalar ticks.
@@ -493,25 +513,42 @@ class BatchedReplayEngine:
         stats = store.stats
         pool = store.pool
         high = store.config.gc_free_high
+        obs_on = store._obs_on
         ops, offs, szs, ts = self._cols
         n = len(ops)
         stop = min(n, i + _BURST_REQUESTS)
         first = True
-        while i < n:
-            t = ts[i]
-            if not first:
-                store.tick(t)
-            first = False
-            if ops[i] != OP_WRITE:
-                stats.read_requests += 1
-            else:
-                stats.write_requests += 1
-                off = offs[i]
-                for lba in range(off, off + szs[i]):
-                    store.write_block(lba, t)
-            i += 1
-            if pool.free_segments >= high or i >= stop:
-                break
+        # Per-block user-write hooks would dominate the burst; defer them
+        # into one bulk report (engine preconditions guarantee the
+        # recorder is batch-capable whenever obs is on).
+        store._defer_user_obs = obs_on
+        written = 0
+        last_lba = -1
+        t = 0
+        try:
+            while i < n:
+                t = ts[i]
+                if not first:
+                    store.tick(t)
+                first = False
+                if ops[i] != OP_WRITE:
+                    stats.read_requests += 1
+                    if obs_on:
+                        store.obs.on_read(offs[i], t)
+                else:
+                    stats.write_requests += 1
+                    off = offs[i]
+                    for lba in range(off, off + szs[i]):
+                        store.write_block(lba, t)
+                    written += szs[i]
+                    last_lba = off + szs[i] - 1
+                i += 1
+                if pool.free_segments >= high or i >= stop:
+                    break
+        finally:
+            store._defer_user_obs = False
+        if obs_on and written:
+            store.obs.on_user_write_bulk(written, last_lba, t)
         return i
 
     # ------------------------------------------------------------------

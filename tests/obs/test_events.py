@@ -61,3 +61,26 @@ def test_spill_requires_path():
 def test_capacity_validation():
     with pytest.raises(ConfigError):
         EventTracer(capacity=0)
+    with pytest.raises(ConfigError):
+        EventTracer(sample_every=0)
+
+
+def test_ratio_sampling_thins_storage_keeps_counts():
+    t = EventTracer(capacity=100, sample_every=3)
+    for i in range(10):
+        t.emit(EV_USER_WRITE, i, lba=i)
+    # Counts stay exact; stored records are the 1st, 4th, 7th, 10th.
+    assert t.counts == {EV_USER_WRITE: 10}
+    assert [e.fields["lba"] for e in t.events] == [0, 3, 6, 9]
+    assert t.sampled_out == 6
+
+
+def test_ratio_sampling_is_per_type():
+    t = EventTracer(capacity=100, sample_every=2)
+    for i in range(3):
+        t.emit(EV_USER_WRITE, i, lba=i)
+        t.emit(EV_GC_PASS, i, victim=i)
+    # Each type keeps its own 1st and 3rd occurrence.
+    kept = [(e.type, e.time_us) for e in t.events]
+    assert kept == [(EV_USER_WRITE, 0), (EV_GC_PASS, 0),
+                    (EV_USER_WRITE, 2), (EV_GC_PASS, 2)]

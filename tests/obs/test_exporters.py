@@ -104,3 +104,53 @@ def test_write_prometheus(tmp_path, recorder):
     content = open(path, encoding="utf-8").read()
     assert "lss_user_blocks_total" in content
     assert "# TYPE lss_chunk_fill_blocks histogram" in content
+
+
+def _golden_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("demo_writes_total",
+                "blocks written\nsince start \\ overall").inc(42)
+    reg.gauge("demo_write_amplification", "current WA").set(1.5)
+    h = reg.histogram("demo_fill_blocks", buckets=[1, 2, float("inf")],
+                      help="chunk fill levels")
+    h.observe(0.5)
+    h.observe(2.0)
+    h.observe(99.0)
+    return reg
+
+
+def test_prometheus_golden_file():
+    """Byte-for-byte exposition format: cumulative buckets ending in a
+    single ``+Inf`` (the caller's explicit inf edge folds into it, never
+    duplicating the label), ``_sum``/``_count`` after the buckets, and
+    HELP text with backslash and newline escaped."""
+    import pathlib
+    golden = pathlib.Path(__file__).parent / "golden" / "registry.prom"
+    assert prometheus_text(_golden_registry()) == golden.read_text()
+
+
+def test_prometheus_help_escaping():
+    text = prometheus_text(_golden_registry())
+    assert ("# HELP demo_writes_total "
+            "blocks written\\nsince start \\\\ overall") in text
+    # Exactly one +Inf bucket despite the explicit inf edge.
+    assert text.count('le="+Inf"') == 1
+
+
+def test_prometheus_histogram_sum_count_positions():
+    """_sum and _count directly follow the buckets, per the format."""
+    lines = prometheus_text(_golden_registry()).splitlines()
+    i = lines.index('demo_fill_blocks_bucket{le="+Inf"} 3')
+    assert lines[i + 1] == "demo_fill_blocks_sum 101.5"
+    assert lines[i + 2] == "demo_fill_blocks_count 3"
+
+
+def test_writers_create_parent_dirs_atomically(tmp_path):
+    """Exporters land in not-yet-existing directories via tmp+rename."""
+    reg = _golden_registry()
+    path = str(tmp_path / "a" / "b" / "snap.prom")
+    write_prometheus(reg, path)
+    assert "demo_writes_total 42" in open(path, encoding="utf-8").read()
+    # Only the final artifact remains — no .tmp litter.
+    assert [p.name for p in (tmp_path / "a" / "b").iterdir()] == \
+        ["snap.prom"]

@@ -40,6 +40,44 @@ def test_histogram_le_semantics():
 def test_histogram_needs_buckets():
     with pytest.raises(ConfigError):
         Histogram("h", buckets=[])
+    # All-infinite bucket lists fold to nothing finite.
+    with pytest.raises(ConfigError):
+        Histogram("h", buckets=[float("inf")])
+
+
+def test_histogram_folds_nonfinite_edges():
+    h = Histogram("h", buckets=[1, float("inf"), 4, float("nan")])
+    assert list(h.edges) == [1.0, 4.0]
+    h.observe(100)
+    assert list(h.counts) == [0, 0, 1]  # overflow bucket catches it
+
+
+def test_observe_bulk_equals_repeated_observe():
+    a = Histogram("a", buckets=[1, 4, 16])
+    b = Histogram("b", buckets=[1, 4, 16])
+    for value, count in ((0, 3), (4, 2), (100, 5), (16, 1)):
+        for _ in range(count):
+            a.observe(value)
+        b.observe_bulk(value, count)
+    assert list(a.counts) == list(b.counts)
+    assert a.sum == b.sum
+    b.observe_bulk(7, 0)  # zero-count is a no-op
+    assert a.count == b.count
+    with pytest.raises(ValueError):
+        b.observe_bulk(7, -1)
+
+
+def test_observe_many_equals_repeated_observe():
+    a = Histogram("a", buckets=[1, 4, 16])
+    b = Histogram("b", buckets=[1, 4, 16])
+    values = [0, 1, 2, 4, 5, 16, 17, 100, 1]
+    for v in values:
+        a.observe(v)
+    b.observe_many(values)
+    assert list(a.counts) == list(b.counts)
+    assert a.sum == b.sum
+    b.observe_many([])  # empty batch is a no-op
+    assert a.count == b.count
 
 
 def test_registry_get_or_create():

@@ -1,0 +1,125 @@
+"""Replay timelines: sampling cadence, final-row exactness, exports."""
+
+import csv
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.lss.config import LSSConfig
+from repro.lss.store import LogStructuredStore
+from repro.obs.exporters import write_timeline_csv, write_timeline_jsonl
+from repro.obs.recorder import ObsRecorder
+from repro.obs.timeline import BASE_COLUMNS, ReplayTimeline
+from repro.placement.registry import make_policy
+from repro.trace.synthetic.ycsb import DensityPreset, generate_ycsb_a
+
+
+def _replay(policy="adapt", every=512, engine="auto",
+            capture_occupancy=True):
+    cfg = LSSConfig(logical_blocks=4096, segment_blocks=64)
+    timeline = ReplayTimeline(every_blocks=every,
+                              capture_occupancy=capture_occupancy)
+    rec = ObsRecorder(timeline=timeline)
+    store = LogStructuredStore(cfg, make_policy(policy, cfg), recorder=rec)
+    trace = generate_ycsb_a(4096, 12_000, density=DensityPreset.LIGHT,
+                            read_ratio=0.0, seed=3)
+    store.replay(trace, engine=engine)
+    return store, timeline
+
+
+def test_rows_monotone_and_shaped():
+    store, tl = _replay()
+    assert len(tl) > 2
+    assert tl.rows.shape == (len(tl), len(tl.columns))
+    arrays = tl.to_arrays()
+    blocks = arrays["user_blocks"]
+    assert (np.diff(blocks) > 0).all()
+    assert (np.diff(arrays["time_us"]) >= 0).all()
+
+
+def test_final_row_matches_stats_exactly():
+    store, tl = _replay()
+    final = dict(zip(tl.columns, tl.rows[-1]))
+    stats = store.stats
+    assert final["user_blocks"] == stats.user_blocks_requested
+    assert final["write_amplification"] == stats.write_amplification()
+    assert final["padding_ratio"] == stats.padding_traffic_ratio()
+    assert final["gc_ratio"] == stats.gc_traffic_ratio()
+    assert final["free_segments"] == store.pool.free_segments
+
+
+def test_occupancy_columns_match_store():
+    store, tl = _replay()
+    occ_cols = [c for c in tl.columns if c.startswith("occ_")]
+    assert len(occ_cols) == len(store.groups)
+    final = dict(zip(tl.columns, tl.rows[-1]))
+    for g, occ in zip(store.groups, store.group_occupancy()):
+        assert final[f"occ_{g.spec.name}"] == occ
+
+
+def test_threshold_column():
+    store, tl = _replay(policy="adapt")
+    # ADAPT has a live threshold: every sample must record a finite one.
+    assert np.isfinite(tl.to_arrays()["threshold"]).all()
+    _, tl2 = _replay(policy="sepgc")
+    # sepgc has no threshold attribute: NaN throughout.
+    assert np.isnan(tl2.to_arrays()["threshold"]).all()
+
+
+def test_capture_occupancy_off():
+    _, tl = _replay(capture_occupancy=False)
+    assert tl.columns == BASE_COLUMNS
+
+
+def test_batched_final_row_equals_scalar_final_row():
+    s_store, s_tl = _replay(engine="scalar")
+    b_store, b_tl = _replay(engine="batched")
+    # Intermediate cadence may differ (chunk-granular sampling batched);
+    # the finalize row is exact under both engines.
+    assert (s_tl.rows[-1] == b_tl.rows[-1]).all()
+
+
+def test_every_blocks_validation():
+    with pytest.raises(ValueError):
+        ReplayTimeline(every_blocks=0)
+
+
+def test_csv_export_roundtrip(tmp_path):
+    _, tl = _replay(policy="sepgc")
+    path = str(tmp_path / "sub" / "timeline.csv")
+    n = write_timeline_csv(tl, path)
+    with open(path, encoding="utf-8", newline="") as f:
+        rows = list(csv.reader(f))
+    assert tuple(rows[0]) == tl.columns
+    assert len(rows) == n + 1 == len(tl) + 1
+    # NaN thresholds render as empty fields, numbers round-trip.
+    first = dict(zip(tl.columns, rows[1]))
+    assert first["threshold"] == ""
+    assert float(first["user_blocks"]) == tl.rows[0][0]
+
+
+def test_jsonl_export_roundtrip(tmp_path):
+    _, tl = _replay(policy="sepgc")
+    path = str(tmp_path / "timeline.jsonl")
+    n = write_timeline_jsonl(tl, path)
+    lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+    assert len(lines) == n == len(tl)
+    assert lines[0]["threshold"] is None  # NaN -> null
+    assert lines[-1]["user_blocks"] == int(tl.rows[-1][0])
+    assert not math.isnan(lines[-1]["write_amplification"])
+
+
+def test_recorder_snapshot_reports_timeline_rows():
+    _, tl = _replay()
+    # snapshot() is produced via the recorder bound in _replay; rebuild
+    # one here to read it.
+    cfg = LSSConfig(logical_blocks=4096, segment_blocks=64)
+    timeline = ReplayTimeline(every_blocks=256)
+    rec = ObsRecorder(timeline=timeline)
+    store = LogStructuredStore(cfg, make_policy("sepgc", cfg), recorder=rec)
+    trace = generate_ycsb_a(4096, 8000, density=DensityPreset.LIGHT,
+                            read_ratio=0.0, seed=1)
+    store.replay(trace)
+    assert rec.snapshot()["timeline_rows"] == len(timeline)

@@ -104,18 +104,109 @@ def test_render_bench_table_and_regressions(result):
     assert "no cells regressed" in out
 
 
+def test_obs_axis_cells_and_overhead():
+    result = run_bench(TINY, policies=["sepgc"], profiles=("ali",),
+                       repeats=1, obs_modes=("off", "metrics", "trace"),
+                       date="2026-01-02")
+    cells = result["cells"]
+    modes = {(c["engine"], c["obs"]) for c in cells}
+    # trace x batched is skipped: per-event tracing needs the scalar
+    # engine; every other combination runs.
+    assert modes == {("scalar", "off"), ("scalar", "metrics"),
+                     ("scalar", "trace"), ("batched", "off"),
+                     ("batched", "metrics")}
+    # Instrumentation must never change the replayed work.
+    assert len({c["user_blocks"] for c in cells}) == 1
+    assert set(result["obs_overhead"]) == {"sepgc/ali/scalar",
+                                           "sepgc/ali/batched"}
+    assert all(v > 0 for v in result["obs_overhead"].values())
+    # Speedups only compare uninstrumented cells.
+    assert set(result["speedups"]) == {"sepgc/ali"}
+    out = render_bench(result)
+    assert "metrics-mode overhead" in out
+    with pytest.raises(ValueError, match="unknown obs mode"):
+        run_bench(TINY, policies=["sepgc"], profiles=("ali",), repeats=1,
+                  obs_modes=("metrics", "bogus"))
+
+
+def test_compare_bench_matches_on_obs_mode():
+    base = _snap(sepgc=1000.0)
+    cur = _snap(sepgc=400.0)
+    for c in cur["cells"]:
+        c["obs"] = "metrics"
+    # obs=metrics cells never compare against (implicit) obs=off cells.
+    assert compare_bench(cur, base, threshold=0.25) == []
+    for c in base["cells"]:
+        c["obs"] = "metrics"
+    regs = compare_bench(cur, base, threshold=0.25)
+    assert [r["obs"] for r in regs] == ["metrics"]
+
+
+@pytest.mark.slow
+def test_metrics_overhead_under_budget():
+    """Aggregated (batch-capable) metrics must cost < 15% of batched
+    replay throughput.  Measured as the aggregate over the policy set on
+    one workload, interleaving instrumented and uninstrumented repeats
+    and keeping each cell's best run, so scheduling noise largely
+    cancels; per-cell ratios on a loaded machine are too noisy to gate.
+    """
+    import time
+
+    from repro.experiments.runner import store_config_for
+    from repro.experiments.workloads import fleet_for
+    from repro.lss.store import LogStructuredStore
+    from repro.obs.recorder import ObsRecorder
+    from repro.placement.registry import make_policy
+
+    scale = Scale("ovh", num_volumes=1, volume_blocks=8192,
+                  volume_requests=6000, stats_volumes=1,
+                  ycsb_blocks=8192, ycsb_writes=4000)
+    trace = fleet_for("ali", scale)[0]
+
+    def one(policy, instrumented):
+        cfg = store_config_for(scale.volume_blocks, seed=0)
+        rec = ObsRecorder() if instrumented else None
+        store = LogStructuredStore(cfg, make_policy(policy, cfg),
+                                   recorder=rec)
+        t0 = time.perf_counter()
+        store.replay(trace, engine="batched")
+        return time.perf_counter() - t0
+
+    total_off = total_on = 0.0
+    for policy in ("sepgc", "adapt", "sepbit"):
+        one(policy, False)  # warm-up: caches, lazy imports
+        offs, ons = [], []
+        for _ in range(3):
+            offs.append(one(policy, False))
+            ons.append(one(policy, True))
+        total_off += min(offs)
+        total_on += min(ons)
+    overhead = total_on / total_off - 1.0
+    assert overhead < 0.15, \
+        f"metrics-mode overhead {overhead:.1%} exceeds the 15% budget"
+
+
 def test_cli_bench_smoke(tmp_path, monkeypatch):
     from repro.cli import main
     monkeypatch.chdir(tmp_path)
     rc = main(["bench", "--scale", "smoke", "--policies", "sepgc",
                "--repeats", "1", "--engines", "batched",
-               "--out", str(tmp_path), "--no-trace-cache"])
+               "--obs", "off,metrics",
+               "--out", str(tmp_path), "--no-trace-cache",
+               "--profile-out", str(tmp_path / "prof" / "bench.json")])
     assert rc == 0
     snaps = list(tmp_path.glob("BENCH_*.json"))
     assert len(snaps) == 1
     snap = json.loads(snaps[0].read_text())
     assert snap["scale"] == "smoke"
     assert {c["policy"] for c in snap["cells"]} == {"sepgc"}
+    assert {c["obs"] for c in snap["cells"]} == {"off", "metrics"}
+    assert snap["obs_overhead"]
+    trace = json.loads((tmp_path / "prof" / "bench.json").read_text())
+    assert any(e.get("name") == "expand" for e in trace["traceEvents"])
+    # The CLI resets the global profiler after the run.
+    from repro.obs.profile import NULL_PROFILER, current
+    assert current() is NULL_PROFILER
 
 
 def test_cli_bench_check_gate(tmp_path):

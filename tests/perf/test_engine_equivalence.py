@@ -62,27 +62,69 @@ def test_batched_matches_scalar_update_heavy():
         assert_states_equal(scalar, batched)
 
 
-def test_batched_engine_rejects_observability():
+def test_batched_engine_rejects_trace_recorder():
+    """Exact per-event tracing cannot be batched; the engine says so."""
     from repro.obs.recorder import ObsRecorder
     from repro.perf.engine import BatchedReplayEngine
     cfg = differential_config()
     store = LogStructuredStore(cfg, make_policy("sepgc", cfg),
-                               recorder=ObsRecorder())
-    with pytest.raises(ValueError, match="observability"):
+                               recorder=ObsRecorder(trace_events=True))
+    with pytest.raises(ValueError, match="batch-capable"):
         BatchedReplayEngine(store)
 
 
-def test_auto_engine_falls_back_with_observability():
+def _auto_engine_used(store, trace, monkeypatch) -> bool:
+    """Replay with engine='auto' and report whether the batched engine ran."""
+    from repro.perf.engine import BatchedReplayEngine
+    used = []
+    orig = BatchedReplayEngine.replay
+
+    def spy(self, *args, **kwargs):
+        used.append(True)
+        return orig(self, *args, **kwargs)
+
+    monkeypatch.setattr(BatchedReplayEngine, "replay", spy)
+    store.replay(trace, engine="auto")
+    return bool(used)
+
+
+def test_auto_engine_selects_batched_with_metrics_recorder(monkeypatch):
+    """A default (batch-capable) recorder keeps the fast engine."""
     from repro.obs.recorder import ObsRecorder
     trace = default_workloads(num_requests=300)[0]
     cfg = differential_config()
     store = LogStructuredStore(cfg, make_policy("sepgc", cfg),
                                recorder=ObsRecorder())
-    store.replay(trace, engine="auto")  # must not raise
+    assert _auto_engine_used(store, trace, monkeypatch)
+
+
+def test_auto_engine_falls_back_with_trace_recorder(monkeypatch):
+    from repro.obs.recorder import ObsRecorder
+    trace = default_workloads(num_requests=300)[0]
+    cfg = differential_config()
+    store = LogStructuredStore(cfg, make_policy("sepgc", cfg),
+                               recorder=ObsRecorder(trace_events=True))
+    assert not _auto_engine_used(store, trace, monkeypatch)
     cfg2 = differential_config()
     ref = LogStructuredStore(cfg2, make_policy("sepgc", cfg2))
     ref.replay(trace, engine="scalar")
     assert (store.mapping == ref.mapping).all()
+
+
+def test_auto_engine_falls_back_for_custom_enabled_recorder(monkeypatch):
+    """A third-party recorder that merely subclasses NullRecorder gets
+    the scalar engine (per-event cadence) unless it opts into the bulk
+    contract via batch_capable."""
+    from repro.obs.recorder import NullRecorder
+
+    class CustomRecorder(NullRecorder):
+        enabled = True
+
+    trace = default_workloads(num_requests=300)[0]
+    cfg = differential_config()
+    store = LogStructuredStore(cfg, make_policy("sepgc", cfg),
+                               recorder=CustomRecorder())
+    assert not _auto_engine_used(store, trace, monkeypatch)
 
 
 def test_unknown_engine_rejected():

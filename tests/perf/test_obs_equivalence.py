@@ -1,0 +1,75 @@
+"""Obs-on engine equivalence: scalar vs batched with a live recorder.
+
+The batched engine's observability contract extends the state contract:
+with a batch-capable :class:`ObsRecorder` attached, the chunk-aggregated
+bulk hooks must leave the *entire* metrics registry — every counter,
+gauge, and histogram (bucket counts and float sums) — bit-identical to
+the scalar per-event hooks, for every policy on update-heavy cloud
+workloads.  Event-stream cadence is explicitly NOT part of the contract
+(bulk paths collapse runs of FULL flushes into ``chunk_flush_bulk``
+records and sample series rows at chunk boundaries); metric totals are.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lss.store import LogStructuredStore
+from repro.obs.recorder import ObsRecorder
+from repro.placement.registry import available_policies, make_policy
+from repro.validate.differential import (default_workloads,
+                                         differential_config)
+
+from tests.perf.test_engine_equivalence import assert_states_equal
+
+#: ali (index 0) and tencent (index 1) differential workloads.
+_WORKLOADS = ("ali", "tencent")
+
+
+def _replay_with_recorder(policy_name: str, trace, engine: str):
+    cfg = differential_config()
+    recorder = ObsRecorder()
+    store = LogStructuredStore(cfg, make_policy(policy_name, cfg),
+                               recorder=recorder)
+    store.replay(trace, engine=engine)
+    return store, recorder
+
+
+@pytest.mark.parametrize("workload_idx", range(len(_WORKLOADS)),
+                         ids=_WORKLOADS)
+@pytest.mark.parametrize("policy_name", available_policies())
+def test_metric_snapshots_equal_across_engines(policy_name, workload_idx):
+    trace = default_workloads(num_requests=600)[workload_idx]
+    scalar_store, scalar_rec = _replay_with_recorder(
+        policy_name, trace, "scalar")
+    batched_store, batched_rec = _replay_with_recorder(
+        policy_name, trace, "batched")
+    assert_states_equal(scalar_store, batched_store)
+    assert scalar_rec.registry.snapshot() == batched_rec.registry.snapshot()
+
+
+@pytest.mark.parametrize("policy_name", ("sepgc", "adapt"))
+def test_recorder_does_not_change_batched_results(policy_name):
+    """Attaching a recorder must not perturb the batched replay itself."""
+    trace = default_workloads(num_requests=600)[0]
+    cfg = differential_config()
+    bare = LogStructuredStore(cfg, make_policy(policy_name, cfg))
+    bare.replay(trace, engine="batched")
+    instrumented, _ = _replay_with_recorder(policy_name, trace, "batched")
+    assert_states_equal(bare, instrumented)
+
+
+def test_counters_match_store_stats_batched():
+    """Registry counters mirror StoreStats after a batched replay (the
+    same cross-check the recorder suite does on the scalar engine)."""
+    trace = default_workloads(num_requests=600)[0]
+    store, rec = _replay_with_recorder("sepgc", trace, "batched")
+    stats = store.stats
+    counters = rec.registry.snapshot()["counters"]
+    assert counters["lss_user_blocks_total"] == stats.user_blocks_requested
+    assert counters["lss_read_requests_total"] == stats.read_requests
+    assert counters["lss_gc_passes_total"] == stats.gc_passes
+    assert counters["lss_gc_blocks_migrated_total"] == \
+        stats.gc_blocks_migrated
+    assert counters["lss_padding_blocks_total"] == \
+        stats.padding_blocks_written
