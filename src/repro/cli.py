@@ -11,7 +11,10 @@ Examples::
     adapt-repro obs --scheme adapt --no-trace --timeline-every 4096
     adapt-repro bench --scale default
     adapt-repro bench --obs off,metrics --profile-out bench.trace.json
+    adapt-repro bench --fleet-workers 1,2,4 --fleet-volumes 16
     REPRO_SCALE=smoke adapt-repro bench --check
+    adapt-repro fleet --volumes 64 --workers 4 --out fleet-out
+    adapt-repro fleet --volumes 64 --workers 4 --out fleet-out --resume
 """
 
 from __future__ import annotations
@@ -234,6 +237,12 @@ def _cmd_bench(args) -> tuple[str, bool]:
     result = run_bench(scale, policies=policies, engines=engines,
                        repeats=args.repeats, seed=args.seed,
                        obs_modes=obs_modes)
+    if args.fleet_workers:
+        from repro.perf.bench import run_fleet_bench
+        workers = tuple(int(w) for w in args.fleet_workers.split(","))
+        result["fleet"] = run_fleet_bench(
+            scale, workers_list=workers, volumes=args.fleet_volumes,
+            seed=args.seed)
     path = write_bench(result, args.out)
     baseline_path = args.baseline or find_previous_bench(
         args.out, exclude=path)
@@ -255,6 +264,45 @@ def _cmd_bench(args) -> tuple[str, bool]:
         out += (f"\nBENCH FAILED: {len(regressions)} cell(s) regressed "
                 f"more than {args.threshold * 100:.0f}%")
     return out, ok
+
+
+def _cmd_fleet(args) -> tuple[str, bool]:
+    """Sharded fleet replay with checkpoint/resume.
+
+    Returns the rendered fleet report and whether the run completed
+    (an interrupted run exits non-zero so scripts notice and resume).
+    """
+    from repro.fleet import FleetSpec, render_fleet, run_fleet
+    s = _get_scale(args.scale)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.chunk_requests is not None:
+        overrides["chunk_requests"] = args.chunk_requests
+    spec = FleetSpec(
+        profile=args.profile, scheme=args.scheme, victim=args.victim,
+        num_volumes=args.volumes,
+        volume_blocks=args.volume_blocks or s.volume_blocks,
+        volume_requests=args.volume_requests or s.volume_requests,
+        engine=args.engine, collect_metrics=args.metrics,
+        timeline_every=args.timeline_every, **overrides)
+    result = run_fleet(spec, workers=args.workers,
+                       checkpoint_every=args.checkpoint_every,
+                       out_dir=args.out, resume=args.resume)
+    if not result.complete:
+        done = len(result.volumes)
+        out = (f"fleet run interrupted: {done}/{spec.num_volumes} "
+               f"volume(s) finished")
+        if args.out:
+            out += (f"\ncheckpoints in {args.out}; rerun with --resume "
+                    f"and the same --workers to continue")
+        return out, False
+    out = render_fleet(result.summary)
+    out += (f"\n{result.chunks_replayed} chunk(s) replayed across "
+            f"{result.num_shards} shard(s) in {result.seconds:.2f}s")
+    if result.summary_path:
+        out += f"\nsummary written: {result.summary_path}"
+    return out, True
 
 
 _FIGS = {
@@ -379,6 +427,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated observability modes to bench "
                         "(off, metrics, trace; default: off). trace "
                         "cells run on the scalar engine only")
+    p.add_argument("--fleet-workers", default=None, metavar="N,N",
+                   help="also bench sharded fleet replay at these worker "
+                        "counts (e.g. 1,2,4); adds a 'fleet' section to "
+                        "the snapshot")
+    p.add_argument("--fleet-volumes", type=_positive_int, default=8,
+                   metavar="N",
+                   help="fleet size for --fleet-workers cells "
+                        "(default: 8)")
+    add_profile_out(p)
+
+    p = sub.add_parser("fleet",
+                       help="sharded multi-process fleet replay with "
+                            "streaming ingestion and checkpoint/resume")
+    p.add_argument("--volumes", type=_positive_int, default=8,
+                   help="tenant volume count (default: 8)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="worker process count == shard count; a resumed "
+                        "run must reuse it (default: 1)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="CHUNKS",
+                   help="checkpoint each shard every CHUNKS replayed "
+                        "chunks (0 disables; requires --out)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from checkpoints in --out")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="artifact directory: fleet_summary.json, "
+                        "fleet_runinfo.json, checkpoints/, timelines/")
+    p.add_argument("--scheme", default="adapt")
+    p.add_argument("--profile", default="ali",
+                   choices=["ali", "tencent", "msrc"])
+    p.add_argument("--victim", default="greedy")
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "default", "paper"],
+                   help="per-volume size preset (default: smoke); "
+                        "--volume-blocks/--volume-requests override")
+    p.add_argument("--volume-blocks", type=_positive_int, default=None,
+                   help="per-volume logical blocks (overrides --scale)")
+    p.add_argument("--volume-requests", type=_positive_int, default=None,
+                   help="per-volume request count (overrides --scale)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="fleet master seed (default: the experiment "
+                        "fleets' seed)")
+    p.add_argument("--chunk-requests", type=_positive_int, default=None,
+                   metavar="N",
+                   help="streaming chunk size in requests (per-volume "
+                        "replay memory is O(N))")
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "batched", "scalar"])
+    p.add_argument("--metrics", action="store_true",
+                   help="attach a metrics recorder per volume and carry "
+                        "snapshots into the summary")
+    p.add_argument("--timeline-every", type=_positive_int, default=None,
+                   metavar="BLOCKS",
+                   help="export a per-volume replay timeline CSV sampled "
+                        "every BLOCKS user blocks (requires --out)")
     add_profile_out(p)
     return parser
 
@@ -392,6 +495,8 @@ def _dispatch(args) -> tuple[str, bool]:
         return _cmd_validate(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     return _FIGS[args.command](args), True
 
 
@@ -399,7 +504,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print("experiments:", ", ".join(sorted(_FIGS)),
-              "+ replay, obs, validate, bench")
+              "+ replay, obs, validate, bench, fleet")
         return 0
     profile_out = getattr(args, "profile_out", None)
     if not profile_out:

@@ -1,7 +1,7 @@
 """Shared primitives: units, errors, deterministic RNG helpers."""
 
 from repro.common.errors import ConfigError, ReproError, TraceFormatError
-from repro.common.rng import make_rng, spawn_rngs
+from repro.common.rng import make_rng, spawn_rngs, stable_seed, tenant_rng
 from repro.common.units import (
     BLOCK_SIZE,
     GiB,
@@ -22,6 +22,8 @@ __all__ = [
     "bytes_of_blocks",
     "make_rng",
     "spawn_rngs",
+    "stable_seed",
+    "tenant_rng",
     "ReproError",
     "ConfigError",
     "TraceFormatError",

@@ -23,6 +23,12 @@ class CapacityError(ReproError):
     """
 
 
+class CheckpointError(ReproError):
+    """Raised when a fleet checkpoint cannot be trusted: version or fleet
+    mismatch, torn/corrupt pickle, or a restored store whose derived
+    tables fail the recovery-scan cross-check."""
+
+
 class ValidationError(ReproError):
     """Raised when the validation harness (``repro.validate``) cannot run a
     requested comparison — e.g. the oracle does not support a stochastic

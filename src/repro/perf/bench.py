@@ -38,7 +38,8 @@ from repro.placement.registry import available_policies, make_policy
 
 #: Snapshot format version (bump on incompatible layout changes).
 #: v2: cells carry an ``obs`` mode, snapshots an ``obs_overhead`` map.
-SCHEMA_VERSION = 2
+#: v3: optional ``fleet`` section (sharded-replay scaling cells).
+SCHEMA_VERSION = 3
 
 #: Default fractional throughput drop that counts as a regression.
 DEFAULT_THRESHOLD = 0.25
@@ -174,6 +175,51 @@ def _obs_overhead(cells: list[BenchCell]) -> dict[str, float]:
     return out
 
 
+def run_fleet_bench(scale: Scale,
+                    workers_list: tuple[int, ...] = (1, 2),
+                    volumes: int = 8,
+                    scheme: str = "adapt",
+                    profile: str = "ali",
+                    seed: int = 0) -> dict:
+    """Fleet-replay scaling: blocks/sec vs worker count.
+
+    One cell per worker count, all replaying the *same* fleet spec (so
+    the per-volume work is identical and the only variable is the
+    sharding).  Unlike the single-volume cells there is no best-of —
+    a fleet run at smoke scale is long enough to dominate pool startup,
+    and the quantity of interest is achieved end-to-end throughput.
+    Returns the snapshot's ``fleet`` section.
+    """
+    from repro.fleet import FleetSpec, run_fleet
+    spec = FleetSpec(profile=profile, scheme=scheme, num_volumes=volumes,
+                     volume_blocks=scale.volume_blocks,
+                     volume_requests=scale.volume_requests, seed=seed)
+    cells = []
+    for workers in workers_list:
+        if workers < 1:
+            raise ValueError("worker counts must be >= 1")
+        result = run_fleet(spec, workers=workers)
+        user_blocks = sum(v["stats"]["user_blocks_requested"]
+                          for v in result.volumes)
+        cells.append({
+            "workers": workers,
+            "volumes": volumes,
+            "seconds": round(result.seconds, 6),
+            "user_blocks": int(user_blocks),
+            "blocks_per_sec": round(user_blocks / result.seconds, 1)
+            if result.seconds else 0.0,
+        })
+    base = cells[0]["blocks_per_sec"] if cells else 0.0
+    return {
+        "scheme": scheme,
+        "profile": profile,
+        "cells": cells,
+        "scaling": {
+            f"{c['workers']}w": round(c["blocks_per_sec"] / base, 3)
+            for c in cells if base},
+    }
+
+
 def bench_filename(date: str) -> str:
     return f"BENCH_{date.replace('-', '')}.json"
 
@@ -273,6 +319,16 @@ def render_bench(result: dict,
                 f"worst {worst:.3f}x):")
         for key, factor in sorted(overhead.items()):
             out += f"\n  {key}: {factor:.3f}x"
+    fleet = result.get("fleet")
+    if fleet:
+        out += (f"\nfleet scaling ({fleet['scheme']}, "
+                f"{fleet['cells'][0]['volumes']} x {fleet['profile']} "
+                f"volumes):")
+        for c in fleet["cells"]:
+            ratio = fleet["scaling"].get(f"{c['workers']}w")
+            out += (f"\n  {c['workers']} worker(s): "
+                    f"{c['blocks_per_sec']:,.0f} blk/s"
+                    + (f" ({ratio:.2f}x)" if ratio else ""))
     if regressions is None:
         return out
     if baseline_path:
@@ -291,4 +347,4 @@ def render_bench(result: dict,
 
 __all__ = ["BenchCell", "DEFAULT_THRESHOLD", "OBS_MODES", "SCHEMA_VERSION",
            "bench_filename", "compare_bench", "find_previous_bench",
-           "render_bench", "run_bench", "write_bench"]
+           "render_bench", "run_bench", "run_fleet_bench", "write_bench"]

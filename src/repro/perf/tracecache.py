@@ -16,11 +16,15 @@ Layout and controls:
 * writes are atomic (temp file + ``os.replace``), so concurrent
   processes can only ever observe complete files;
 * corrupt or unreadable cache files are treated as misses and
-  overwritten, never raised.
+  overwritten, never raised;
+* total size is capped: ``ADAPT_REPRO_TRACE_CACHE_MAX_MB`` (default
+  :data:`DEFAULT_MAX_MB`) bounds the ``traces/`` directory, with
+  least-recently-*used* entries evicted after each store — a cache hit
+  refreshes the entry's mtime, so hot fleets survive.
 
 The key deliberately includes a ``_FORMAT_VERSION`` that must be bumped
 whenever generator semantics change; stale entries then simply stop
-being hit (``clear`` prunes them).
+being hit (``clear`` prunes them, and the size cap ages them out).
 """
 
 from __future__ import annotations
@@ -36,7 +40,15 @@ import numpy as np
 from repro.trace.model import Trace
 
 #: Bump when generator output or the npz layout changes incompatibly.
-_FORMAT_VERSION = 1
+#: v2: per-tenant hashed seed derivation replaced order-dependent
+#: ``spawn_rngs`` enumeration in ``generate_fleet``.
+_FORMAT_VERSION = 2
+
+#: Default size cap (MiB) for the trace cache directory.
+DEFAULT_MAX_MB = 512
+
+#: Environment override for the size cap; ``0`` disables eviction.
+MAX_MB_ENV = "ADAPT_REPRO_TRACE_CACHE_MAX_MB"
 
 #: Module-level switch flipped by ``--no-trace-cache`` (env wins if set).
 _enabled = True
@@ -76,8 +88,70 @@ def fleet_key(generator: str, params: dict) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def max_cache_bytes() -> int:
+    """Resolved size cap in bytes; ``0`` means unlimited."""
+    raw = os.environ.get(MAX_MB_ENV)
+    if raw is None or raw == "":
+        return DEFAULT_MAX_MB * 1024 * 1024
+    try:
+        mb = float(raw)
+    except ValueError:
+        return DEFAULT_MAX_MB * 1024 * 1024
+    return max(0, int(mb * 1024 * 1024))
+
+
 def _path_for(key: str) -> str:
     return os.path.join(cache_dir(), "traces", f"{key}.npz")
+
+
+def _touch(path: str) -> None:
+    """Refresh ``path``'s mtime so LRU eviction sees it as recently used."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass
+
+
+def evict_lru(limit_bytes: int | None = None) -> int:
+    """Evict least-recently-used entries until under the cap.
+
+    ``limit_bytes`` defaults to :func:`max_cache_bytes`; ``0`` (or less)
+    disables eviction.  Returns the number of files removed.  Races with
+    concurrent processes are benign: an unlink of an already-removed file
+    is ignored, and a concurrently re-stored entry simply survives until
+    the next store.
+    """
+    if limit_bytes is None:
+        limit_bytes = max_cache_bytes()
+    if limit_bytes <= 0:
+        return 0
+    root = os.path.join(cache_dir(), "traces")
+    entries = []
+    try:
+        names = os.listdir(root)
+    except OSError:
+        return 0
+    for name in names:
+        if not name.endswith(".npz"):
+            continue
+        path = os.path.join(root, name)
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue
+        entries.append((st.st_mtime, st.st_size, path))
+    total = sum(size for _, size, _ in entries)
+    removed = 0
+    for _, size, path in sorted(entries):
+        if total <= limit_bytes:
+            break
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        total -= size
+        removed += 1
+    return removed
 
 
 def load_fleet(key: str) -> list[Trace] | None:
@@ -95,7 +169,8 @@ def load_fleet(key: str) -> list[Trace] | None:
                     z[f"t{i}_timestamps"], z[f"t{i}_ops"],
                     z[f"t{i}_offsets"], z[f"t{i}_sizes"],
                     volume=volumes[i]))
-            return traces
+        _touch(path)
+        return traces
     except (OSError, KeyError, ValueError, IndexError):
         return None
 
@@ -131,6 +206,7 @@ def store_fleet(key: str, traces: Sequence[Trace]) -> str | None:
             raise
     except OSError:
         return None
+    evict_lru()
     return path
 
 
@@ -168,5 +244,6 @@ def clear() -> int:
     return removed
 
 
-__all__ = ["cache_dir", "cache_enabled", "cached_fleet", "clear",
-           "fleet_key", "load_fleet", "set_enabled", "store_fleet"]
+__all__ = ["DEFAULT_MAX_MB", "MAX_MB_ENV", "cache_dir", "cache_enabled",
+           "cached_fleet", "clear", "evict_lru", "fleet_key",
+           "load_fleet", "max_cache_bytes", "set_enabled", "store_fleet"]

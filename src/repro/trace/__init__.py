@@ -1,6 +1,17 @@
-"""Block-level I/O trace model, parsers, statistics and synthetic generators."""
+"""Block-level I/O trace model, parsers, statistics, synthetic generators
+and chunked streams."""
 
 from repro.trace.model import OP_READ, OP_WRITE, Trace
 from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.stream import (
+    DEFAULT_CHUNK_REQUESTS,
+    FileChunkStream,
+    MaterializedStream,
+    SyntheticVolumeStream,
+    TraceStream,
+    write_chunk_file,
+)
 
-__all__ = ["Trace", "OP_READ", "OP_WRITE", "TraceStats", "compute_stats"]
+__all__ = ["Trace", "OP_READ", "OP_WRITE", "TraceStats", "compute_stats",
+           "TraceStream", "MaterializedStream", "SyntheticVolumeStream",
+           "FileChunkStream", "write_chunk_file", "DEFAULT_CHUNK_REQUESTS"]

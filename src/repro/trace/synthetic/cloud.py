@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.common.rng import make_rng, spawn_rngs
+from repro.common.rng import make_rng, tenant_rng
 from repro.trace.model import OP_READ, OP_WRITE, Trace
 from repro.trace.synthetic.arrivals import BurstyArrivalModel
 from repro.trace.synthetic.zipf import ZipfSampler
@@ -160,7 +160,8 @@ def generate_volume(spec: VolumeSpec,
     # from where the previous one ended (classic spatial locality model).
     seq = rng.random(n) < prof.sequential_prob
     seq[0] = False
-    offsets = _apply_sequential_runs(offsets, sizes, seq, spec.unique_blocks)
+    offsets, _ = _apply_sequential_runs(offsets, sizes, seq,
+                                        spec.unique_blocks)
 
     # Clamp extents into the address space.
     offsets = np.minimum(offsets, np.maximum(spec.unique_blocks - sizes, 0))
@@ -168,16 +169,28 @@ def generate_volume(spec: VolumeSpec,
 
 
 def _apply_sequential_runs(offsets: np.ndarray, sizes: np.ndarray,
-                           seq: np.ndarray, unique_blocks: int) -> np.ndarray:
+                           seq: np.ndarray, unique_blocks: int,
+                           prev_end: int | None = None
+                           ) -> tuple[np.ndarray, int]:
     """Rewrite offsets so that positions flagged in ``seq`` continue the
-    previous request's extent (wrapping at the end of the address space)."""
+    previous request's extent (wrapping at the end of the address space).
+
+    ``prev_end`` carries the final cursor of a preceding chunk so chunked
+    generation (:mod:`repro.trace.stream`) keeps runs flowing across chunk
+    boundaries; the final cursor is returned for the same reason.  When it
+    is ``None`` the first position starts a fresh run (the caller must
+    clear ``seq[0]``).
+    """
     out = offsets.copy()
-    prev_end = int(out[0] + sizes[0])
-    for i in range(1, out.shape[0]):
+    start = 0
+    if prev_end is None:
+        prev_end = int(out[0] + sizes[0])
+        start = 1
+    for i in range(start, out.shape[0]):
         if seq[i]:
             out[i] = prev_end % max(unique_blocks - int(sizes[i]), 1)
         prev_end = int(out[i] + sizes[i])
-    return out
+    return out, prev_end
 
 
 def generate_fleet(profile: CloudProfile | str, num_volumes: int,
@@ -190,17 +203,24 @@ def generate_fleet(profile: CloudProfile | str, num_volumes: int,
         num_volumes: number of volumes (the paper samples 50 per cloud).
         unique_blocks: per-volume footprint in blocks (scaled presets).
         num_requests: per-volume request count.
-        seed: master seed; each volume derives an independent child stream.
+        seed: master seed; each volume derives an independent stream keyed
+            on its *name* (not its position), so volume ``i`` is
+            bit-identical no matter how many other volumes the fleet has
+            — growing or sharding a fleet never perturbs existing tenants.
     """
     if isinstance(profile, str):
         profile = profile_by_name(profile)
     if num_volumes <= 0:
         raise ValueError("num_volumes must be >= 1")
-    rngs = spawn_rngs(seed, num_volumes * 2)
+    if seed is None:
+        # Preserve "None means fresh entropy" while keeping the per-volume
+        # independence property below.
+        seed = int(np.random.SeedSequence().entropy) & (2 ** 63 - 1)
     traces = []
     for i in range(num_volumes):
-        spec_rng, data_rng = rngs[2 * i], rngs[2 * i + 1]
-        spec = VolumeSpec.draw(profile, f"{profile.name}-{i:03d}",
-                               unique_blocks, num_requests, spec_rng)
-        traces.append(generate_volume(spec, rng=data_rng))
+        name = f"{profile.name}-{i:03d}"
+        spec = VolumeSpec.draw(profile, name, unique_blocks, num_requests,
+                               tenant_rng(seed, name, "spec"))
+        traces.append(generate_volume(spec,
+                                      rng=tenant_rng(seed, name, "data")))
     return traces

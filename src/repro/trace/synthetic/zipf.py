@@ -42,11 +42,18 @@ class ZipfSampler:
         else:
             self._rank_to_item = np.arange(self.n)
 
-    def sample(self, size: int) -> np.ndarray:
-        """Draw ``size`` item indices (int64)."""
+    def sample(self, size: int,
+               rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw ``size`` item indices (int64).
+
+        ``rng`` overrides the sampler's own stream for this draw while the
+        rank→item shuffle stays fixed — chunked trace generation draws each
+        chunk from an independent per-chunk generator against one shared
+        popularity layout.
+        """
         if size < 0:
             raise ValueError(f"negative sample size {size}")
-        u = self._rng.random(size)
+        u = (self._rng if rng is None else rng).random(size)
         ranks = np.searchsorted(self._cdf, u, side="right")
         return self._rank_to_item[ranks].astype(np.int64)
 

@@ -1,0 +1,135 @@
+"""Shard checkpoints: atomicity, validation, recovery cross-check."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.common.errors import CheckpointError
+from repro.fleet.checkpoint import (
+    CHECKPOINT_VERSION,
+    checkpoint_path,
+    load_shard_checkpoint,
+    write_shard_checkpoint,
+)
+from repro.fleet.spec import FleetSpec
+
+SPEC = FleetSpec(num_volumes=2, volume_blocks=2048, volume_requests=800,
+                 chunk_requests=256)
+KEY = SPEC.fleet_key()
+
+
+def midstream_store(tenant="ali-0000", chunks=2):
+    """A store halfway through its tenant's stream, plus resume cursor."""
+    from repro.experiments.runner import store_config_for
+    from repro.lss.store import LogStructuredStore
+    from repro.placement.registry import make_policy
+    stream = SPEC.volume_stream(tenant)
+    cfg = store_config_for(SPEC.volume_blocks, seed=SPEC.store_seed(tenant))
+    store = LogStructuredStore(cfg, make_policy(SPEC.scheme, cfg))
+    state = stream.initial_state()
+    for index, tr, state in stream.chunks(0, state):
+        store.replay(tr, finalize=False)
+        if index + 1 >= chunks:
+            break
+    return store, index + 1, state
+
+
+def test_path_encodes_geometry(tmp_path):
+    p = checkpoint_path(str(tmp_path), 3, 16)
+    assert p.endswith("shard-0003-of-0016.ckpt")
+
+
+def test_missing_checkpoint_is_none(tmp_path):
+    p = checkpoint_path(str(tmp_path), 0, 1)
+    assert load_shard_checkpoint(p, fleet_key=KEY, shard=0,
+                                 num_shards=1) is None
+
+
+def test_roundtrip_completed_only(tmp_path):
+    p = checkpoint_path(str(tmp_path), 0, 2)
+    completed = {"ali-0000": {"volume": "ali-0000", "stats": {}}}
+    write_shard_checkpoint(p, fleet_key=KEY, shard=0, num_shards=2,
+                           completed=completed, inflight=None)
+    payload = load_shard_checkpoint(p, fleet_key=KEY, shard=0,
+                                    num_shards=2)
+    assert payload["completed"] == completed
+    assert payload["inflight"] is None
+    assert payload["version"] == CHECKPOINT_VERSION
+
+
+def test_roundtrip_inflight_store_resumes_identically(tmp_path):
+    """A store restored from a checkpoint finishes the volume with
+    bit-identical stats to one that was never interrupted."""
+    store, next_chunk, state = midstream_store()
+    p = checkpoint_path(str(tmp_path), 0, 1)
+    write_shard_checkpoint(
+        p, fleet_key=KEY, shard=0, num_shards=1, completed={},
+        inflight={"tenant": "ali-0000", "next_chunk": next_chunk,
+                  "stream_state": state, "store": store,
+                  "recorder": None})
+    # The original store object keeps working after the write
+    # (profiler detach must be restored).
+    stream = SPEC.volume_stream("ali-0000")
+    payload = load_shard_checkpoint(p, fleet_key=KEY, shard=0,
+                                    num_shards=1)
+    restored = payload["inflight"]["store"]
+    for original in (store, restored):
+        for _, tr, _ in stream.chunks(payload["inflight"]["next_chunk"],
+                                      payload["inflight"]["stream_state"]):
+            original.replay(tr, finalize=False)
+        original.finalize()
+    assert store.stats.summary() == restored.stats.summary()
+
+
+def test_wrong_fleet_key_rejected(tmp_path):
+    p = checkpoint_path(str(tmp_path), 0, 1)
+    write_shard_checkpoint(p, fleet_key=KEY, shard=0, num_shards=1,
+                           completed={}, inflight=None)
+    with pytest.raises(CheckpointError, match="different fleet"):
+        load_shard_checkpoint(p, fleet_key="0" * 64, shard=0,
+                              num_shards=1)
+
+
+def test_wrong_geometry_rejected(tmp_path):
+    p = checkpoint_path(str(tmp_path), 0, 1)
+    write_shard_checkpoint(p, fleet_key=KEY, shard=0, num_shards=1,
+                           completed={}, inflight=None)
+    with pytest.raises(CheckpointError, match="geometry"):
+        load_shard_checkpoint(p, fleet_key=KEY, shard=0, num_shards=2)
+
+
+def test_corrupt_checkpoint_rejected(tmp_path):
+    p = checkpoint_path(str(tmp_path), 0, 1)
+    with open(p, "wb") as f:
+        f.write(b"definitely not a pickle")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        load_shard_checkpoint(p, fleet_key=KEY, shard=0, num_shards=1)
+
+
+def test_version_mismatch_rejected(tmp_path):
+    p = checkpoint_path(str(tmp_path), 0, 1)
+    with open(p, "wb") as f:
+        pickle.dump({"version": CHECKPOINT_VERSION + 1}, f)
+    with pytest.raises(CheckpointError, match="version"):
+        load_shard_checkpoint(p, fleet_key=KEY, shard=0, num_shards=1)
+
+
+def test_tampered_store_fails_recovery_crosscheck(tmp_path):
+    """A checkpoint whose mapping disagrees with the segment pool's
+    slot metadata must be rejected, not resumed."""
+    store, next_chunk, state = midstream_store()
+    # Corrupt the derived mapping so the recovery scan disagrees.
+    valid = [i for i in range(SPEC.volume_blocks) if store.mapping[i] >= 0]
+    a, b = valid[0], valid[1]
+    store.mapping[a], store.mapping[b] = \
+        int(store.mapping[b]), int(store.mapping[a])
+    p = checkpoint_path(str(tmp_path), 0, 1)
+    write_shard_checkpoint(
+        p, fleet_key=KEY, shard=0, num_shards=1, completed={},
+        inflight={"tenant": "ali-0000", "next_chunk": next_chunk,
+                  "stream_state": state, "store": store,
+                  "recorder": None})
+    with pytest.raises(CheckpointError, match="recovery"):
+        load_shard_checkpoint(p, fleet_key=KEY, shard=0, num_shards=1)

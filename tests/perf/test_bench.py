@@ -230,3 +230,31 @@ def test_cli_bench_check_gate(tmp_path):
                "--out", str(tmp_path), "--threshold", "0.5",
                "--baseline", str(baseline), "--no-trace-cache"])
     assert rc == 0
+
+
+def test_run_fleet_bench_cells_and_scaling():
+    from repro.perf.bench import run_fleet_bench
+    fleet = run_fleet_bench(TINY, workers_list=(1, 2), volumes=2)
+    assert fleet["scheme"] == "adapt" and fleet["profile"] == "ali"
+    assert [c["workers"] for c in fleet["cells"]] == [1, 2]
+    blocks = {c["user_blocks"] for c in fleet["cells"]}
+    assert len(blocks) == 1  # same fleet spec -> same work at every count
+    for c in fleet["cells"]:
+        assert c["volumes"] == 2
+        assert c["blocks_per_sec"] > 0
+    assert fleet["scaling"]["1w"] == pytest.approx(1.0)
+
+
+def test_render_bench_includes_fleet_section(result):
+    shown = dict(result)
+    shown["fleet"] = {
+        "scheme": "adapt", "profile": "ali",
+        "cells": [{"workers": 1, "volumes": 4, "seconds": 1.0,
+                   "user_blocks": 1000, "blocks_per_sec": 1000.0},
+                  {"workers": 2, "volumes": 4, "seconds": 0.6,
+                   "user_blocks": 1000, "blocks_per_sec": 1666.7}],
+        "scaling": {"1w": 1.0, "2w": 1.667},
+    }
+    text = render_bench(shown)
+    assert "fleet scaling" in text
+    assert "2 worker(s)" in text and "1.67x" in text

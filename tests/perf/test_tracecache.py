@@ -117,3 +117,63 @@ def test_workload_fleets_hit_the_cache(isolated_cache):
     assert len(fleet) == len(again) == 1
     assert_traces_equal(fleet[0], again[0])
     assert (isolated_cache / "traces").exists()
+
+
+class TestLRUEviction:
+    """The ADAPT_REPRO_TRACE_CACHE_MAX_MB size cap."""
+
+    def _store(self, seed, n=64):
+        key = tracecache.fleet_key("g", {"s": seed})
+        path = tracecache.store_fleet(key, [make_trace(n=n, seed=seed)])
+        assert path is not None
+        return key, path
+
+    def test_default_cap_and_env_parsing(self, monkeypatch):
+        monkeypatch.delenv(tracecache.MAX_MB_ENV, raising=False)
+        assert tracecache.max_cache_bytes() == \
+            tracecache.DEFAULT_MAX_MB * 1024 * 1024
+        monkeypatch.setenv(tracecache.MAX_MB_ENV, "1.5")
+        assert tracecache.max_cache_bytes() == int(1.5 * 1024 * 1024)
+        monkeypatch.setenv(tracecache.MAX_MB_ENV, "0")
+        assert tracecache.max_cache_bytes() == 0
+        monkeypatch.setenv(tracecache.MAX_MB_ENV, "junk")
+        assert tracecache.max_cache_bytes() == \
+            tracecache.DEFAULT_MAX_MB * 1024 * 1024
+
+    def test_store_evicts_oldest_beyond_cap(self, monkeypatch, tmp_path):
+        import os
+        keys = []
+        for seed in range(4):
+            key, path = self._store(seed)
+            os.utime(path, (seed, seed))  # deterministic age order
+            keys.append(key)
+        one = os.path.getsize(tracecache._path_for(keys[0]))
+        # Cap that holds ~2 entries: the 2 oldest must go.
+        monkeypatch.setenv(tracecache.MAX_MB_ENV,
+                           str(2.5 * one / (1024 * 1024)))
+        key, _ = self._store(99)
+        assert tracecache.load_fleet(keys[0]) is None
+        assert tracecache.load_fleet(key) is not None
+
+    def test_load_refreshes_recency(self, monkeypatch):
+        import os
+        keys = []
+        for seed in range(3):
+            key, path = self._store(seed)
+            os.utime(path, (seed, seed))
+            keys.append(key)
+        # Touch the oldest via a hit; it should now outlive the others.
+        assert tracecache.load_fleet(keys[0]) is not None
+        one = os.path.getsize(tracecache._path_for(keys[0]))
+        tracecache.evict_lru(limit_bytes=int(1.5 * one))
+        assert tracecache.load_fleet(keys[0]) is not None
+        assert tracecache.load_fleet(keys[1]) is None
+
+    def test_zero_cap_disables_eviction(self, monkeypatch):
+        for seed in range(3):
+            self._store(seed)
+        monkeypatch.setenv(tracecache.MAX_MB_ENV, "0")
+        assert tracecache.evict_lru() == 0
+        for seed in range(3):
+            key = tracecache.fleet_key("g", {"s": seed})
+            assert tracecache.load_fleet(key) is not None

@@ -106,3 +106,18 @@ def test_sequential_runs_present():
     follows = np.mean(tr.offsets[1:] == (tr.offsets[:-1] + tr.sizes[:-1]) %
                       np.maximum(8192 - tr.sizes[1:], 1))
     assert follows > 0.15
+
+
+def test_fleet_prefix_stability():
+    """Tenant streams are keyed by name hash, not enumeration order: a
+    larger fleet contains the smaller fleet's traces verbatim."""
+    small = generate_fleet("ali", 2, unique_blocks=256, num_requests=300,
+                           seed=11)
+    large = generate_fleet("ali", 5, unique_blocks=256, num_requests=300,
+                           seed=11)
+    for a, b in zip(small, large):
+        assert a.volume == b.volume
+        assert np.array_equal(a.timestamps, b.timestamps)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.sizes, b.sizes)
