@@ -234,9 +234,18 @@ def _cmd_bench(args) -> tuple[str, bool]:
     policies = args.policies.split(",") if args.policies else None
     engines = tuple(args.engines.split(","))
     obs_modes = tuple(args.obs.split(","))
+    kwargs = {}
+    if args.workloads:
+        from repro.experiments.workloads import PROFILES
+        profiles = tuple(args.workloads.split(","))
+        unknown = [p for p in profiles if p not in PROFILES]
+        if unknown:
+            return (f"unknown workload(s) {','.join(unknown)}; "
+                    f"choose from {','.join(PROFILES)}", False)
+        kwargs["profiles"] = profiles
     result = run_bench(scale, policies=policies, engines=engines,
                        repeats=args.repeats, seed=args.seed,
-                       obs_modes=obs_modes)
+                       obs_modes=obs_modes, **kwargs)
     if args.fleet_workers:
         from repro.perf.bench import run_fleet_bench
         workers = tuple(int(w) for w in args.fleet_workers.split(","))
@@ -404,10 +413,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policies", default=None, metavar="A,B,...",
                    help="comma-separated policy names "
                         "(default: all registered)")
+    p.add_argument("--workloads", default=None, metavar="W,W,...",
+                   help="comma-separated workload profiles to bench "
+                        "(e.g. ali,tencent; default: all profiles)")
     p.add_argument("--engines", default="scalar,batched",
                    metavar="E,E", help="engines to time "
                                        "(default: scalar,batched)")
-    p.add_argument("--repeats", type=_positive_int, default=2,
+    p.add_argument("--repeats", "--repeat", type=_positive_int, default=2,
+                   dest="repeats", metavar="N",
                    help="replays per cell; best run is kept (default: 2)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=".", metavar="DIR",

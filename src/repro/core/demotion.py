@@ -16,6 +16,8 @@ configured threshold.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.bloom import CascadedDiscriminator
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
 
@@ -46,6 +48,12 @@ class ProactiveDemotion:
         self.demotions = 0
         self.lookups = 0
         self.obs: NullRecorder = NULL_RECORDER
+        #: Memoized ``lba -> (target, score)`` probe results.  Scores only
+        #: change when a discriminator mutates — inserts and evictions
+        #: happen exclusively on the GC path — so the cache is exact: an
+        #: insert invalidates that LBA, an eviction (a whole filter slot
+        #: aging out) clears everything.
+        self._target_cache: dict[int, tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     # construction during GC
@@ -53,7 +61,13 @@ class ProactiveDemotion:
     def on_gc_block(self, lba: int, from_group: int, to_group: int) -> None:
         """GC migrated ``lba``; record same-group GC-to-GC migrations."""
         if from_group == to_group and from_group in self.discriminators:
-            self.discriminators[from_group].insert(lba)
+            disc = self.discriminators[from_group]
+            before = disc.evictions
+            disc.insert(lba)
+            if disc.evictions != before:
+                self._target_cache.clear()
+            else:
+                self._target_cache.pop(lba, None)
 
     # ------------------------------------------------------------------
     # lookup on the user-write path
@@ -73,6 +87,74 @@ class ProactiveDemotion:
                 self.obs.on_demotion(lba, best_gid, best_score, now_us)
             return best_gid
         return None
+
+    # ------------------------------------------------------------------
+    # batched lookup
+    # ------------------------------------------------------------------
+    def demotion_targets(self, lbas: np.ndarray) -> tuple[np.ndarray,
+                                                          np.ndarray]:
+        """Pure bulk probe: per LBA, the demotion target gid (or ``-1``
+        for normal hotness placement) and the winning score.
+
+        No side effects — no lookup/demotion counters, no obs events —
+        so the batched engine can use it to *predict* candidate groups
+        before a chunk is committed; the placement path applies the
+        scalar contract's accounting via :meth:`account_batch`.
+        Tie-breaking matches the scalar strict-``>`` scan (earliest gid
+        in ``gc_group_ids`` wins ties).
+
+        Results are memoized per LBA (exact, not approximate: the cache
+        is invalidated on every discriminator mutation), so repeated
+        probes between GC runs — the engine's candidate prediction plus
+        the placement pass — cost one dict hit each.
+        """
+        n = int(lbas.shape[0])
+        targets = np.empty(n, dtype=np.int64)
+        scores = np.empty(n, dtype=np.int64)
+        cache = self._target_cache
+        missing: list[int] = []
+        for i, k in enumerate(lbas.tolist()):
+            hit = cache.get(k)
+            if hit is None:
+                missing.append(i)
+            else:
+                targets[i], scores[i] = hit
+        if missing:
+            idx = np.asarray(missing, dtype=np.int64)
+            sub = lbas[idx]
+            t, s = self._compute_targets(sub)
+            targets[idx] = t
+            scores[idx] = s
+            for k, tv, sv in zip(sub.tolist(), t.tolist(), s.tolist()):
+                cache[k] = (tv, sv)
+        return targets, scores
+
+    def _compute_targets(self, lbas: np.ndarray) -> tuple[np.ndarray,
+                                                          np.ndarray]:
+        n = int(lbas.shape[0])
+        best_score = np.zeros(n, dtype=np.int64)
+        best_gid = np.full(n, -1, dtype=np.int64)
+        for gid in self.gc_group_ids:
+            s = self.discriminators[gid].score_batch(lbas)
+            better = s > best_score
+            if better.any():
+                best_gid[better] = gid
+                best_score[better] = s[better]
+        fired = best_score >= self.score_threshold
+        return np.where(fired, best_gid, -1), best_score
+
+    def account_batch(self, lbas: np.ndarray, targets: np.ndarray,
+                      scores: np.ndarray, ts_us: np.ndarray) -> None:
+        """Apply the counter/obs updates a scalar :meth:`demotion_target`
+        loop over these blocks would have produced."""
+        self.lookups += int(lbas.shape[0])
+        fired = np.flatnonzero(targets >= 0)
+        self.demotions += int(fired.size)
+        if self.obs.enabled and fired.size:
+            on_demotion = self.obs.on_demotion
+            for i in fired.tolist():
+                on_demotion(int(lbas[i]), int(targets[i]),
+                            int(scores[i]), int(ts_us[i]))
 
     def memory_bytes(self) -> int:
         return sum(d.memory_bytes() for d in self.discriminators.values())

@@ -50,6 +50,37 @@ class DistanceTracker:
         self._live_positions.append(pos)  # pos is the global maximum
         return distance
 
+    def access_many(self, keys: list[int]) -> list[int | None]:
+        """Array-in/array-out :meth:`access`: one interval per key, in
+        order, identical to sequential scalar calls.
+
+        The structure is inherently sequential (each access mutates the
+        position list the next one reads), so this is a tight loop with
+        the lookups hoisted rather than a NumPy kernel — the vector win
+        on the ADAPT path comes from filtering the stream down to the
+        sampled survivors *before* this call.
+        """
+        out: list[int | None] = []
+        append_out = out.append
+        last_pos = self._last_pos
+        live = self._live_positions
+        append_live = live.append
+        clock = self._clock
+        get = last_pos.get
+        for key in keys:
+            prev = get(key)
+            if prev is None:
+                append_out(None)
+            else:
+                idx = bisect_right(live, prev)
+                append_out(len(live) - idx)
+                del live[idx - 1]
+            last_pos[key] = clock
+            append_live(clock)
+            clock += 1
+        self._clock = clock
+        return out
+
     def evict(self, key: int) -> None:
         """Forget a key (bounds memory for long runs)."""
         prev = self._last_pos.pop(key, None)

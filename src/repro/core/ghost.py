@@ -12,6 +12,14 @@ groups), and its WA-cost signal is
 which captures exactly the two components the threshold is meant to
 minimise: GC migration out of user groups and zero-padding.  Each ghost set
 runs one candidate threshold; the ladder compares their costs.
+
+Mirroring the replay engines' reference-vs-batched split, the scalar
+:meth:`GhostSet.record` path drives real :class:`CoalescingBuffer` objects
+— the same chunk machinery the store itself uses — while the batched
+:meth:`GhostSet.record_many` path operates on those buffers' state with
+the per-record machinery inlined.  Both paths share one canonical state,
+so arbitrary interleavings stay bit-identical (the ghost equivalence
+suite fuzzes exactly that).
 """
 
 from __future__ import annotations
@@ -103,6 +111,88 @@ class GhostSet:
         # validity is derived from the _where map pointing elsewhere.
         self._append(group, lba, now_us)
         self._maybe_gc()
+
+    def record_many(self, lbas: list[int], intervals: list[float | None],
+                    ts_us: list[int]) -> None:
+        """Feed many sampled writes at per-block times.
+
+        Bit-identical to sequential :meth:`record` calls — the poll /
+        classify / append / seal / GC cadence is preserved per record —
+        but with the buffer machinery inlined onto its own state (the
+        pending-token lists and SLA timers) and every per-call attribute
+        lookup hoisted out of the loop.  The ghost buffers have no bound
+        deadline heap and no flush consumers, so a ``FULL`` flush reduces
+        to clearing the tokens and timer, and a ``DEADLINE`` flush to
+        that plus the padding accounting.
+        """
+        where = self._where
+        get = where.get
+        open_ = self._open
+        sealed = self._sealed
+        bufs = self._buffers
+        tok = [bufs[0]._tokens, bufs[1]._tokens]
+        timer = [bufs[0]._timer_start_us, bufs[1]._timer_start_us]
+        window = bufs[0].window_us
+        idle = bufs[0].sla_mode == "idle"
+        threshold = self.threshold
+        cb = self.chunk_blocks
+        segb = self.segment_blocks
+        limit = self.garbage_limit
+        written = 0
+        padded = 0
+        total = self._total_slots
+        for i in range(len(lbas)):
+            now = ts_us[i]
+            if window is not None:
+                for g in (0, 1):
+                    t0 = timer[g]
+                    tg = tok[g]
+                    if t0 is not None and now >= t0 + window and tg:
+                        pad = cb - len(tg)
+                        tg.clear()
+                        timer[g] = None
+                        seg = open_[g]
+                        seg.padding += pad
+                        padded += pad
+                        total += pad
+                        if seg.fill >= segb:
+                            seg.sealed = True
+                            sealed.append(seg)
+                            open_[g] = _GhostSegment(blocks=[])
+            iv = intervals[i]
+            if iv is None:
+                iv = float(len(where))
+            g = 0 if iv < threshold else 1
+            lba = lbas[i]
+            old = get(lba)
+            if old is not None:
+                old.valid -= 1
+            seg = open_[g]
+            seg.blocks.append(lba)
+            seg.valid += 1
+            where[lba] = seg
+            written += 1
+            total += 1
+            tg = tok[g]
+            if idle or not tg:
+                timer[g] = now
+            tg.append(lba)
+            if len(tg) >= cb:
+                tg.clear()
+                timer[g] = None
+            if seg.fill >= segb:
+                seg.sealed = True
+                sealed.append(seg)
+                open_[g] = _GhostSegment(blocks=[])
+            if sealed and total and 1.0 - len(where) / total > limit:
+                self._total_slots = total
+                self._maybe_gc()
+                total = self._total_slots
+        self.blocks_written += written
+        self.padding_blocks += padded
+        self._total_slots = total
+        bufs[0]._timer_start_us = timer[0]
+        bufs[1]._timer_start_us = timer[1]
 
     def _append(self, group: int, lba: int, now_us: int) -> None:
         seg = self._open[group]
@@ -198,6 +288,15 @@ class GhostSet:
     def live_blocks(self) -> int:
         return len(self._where)
 
+    #: CPython container overhead per live segment: the ``_GhostSegment``
+    #: instance (~56 bytes) plus its block-list header (~64 bytes amortised
+    #: with growth slack).  Charged on top of per-entry cost so the obs
+    #: memory gauge does not under-report the ghost-set footprint.
+    SEGMENT_OVERHEAD_BYTES = 120
+
     def memory_bytes(self) -> int:
-        """~20 bytes per simulated block (paper §4.4): LBA + index entry."""
-        return 20 * max(self._total_slots, len(self._where))
+        """~20 bytes per simulated block (paper §4.4: LBA + index entry)
+        plus per-segment container overhead (sealed + the two open)."""
+        segments = len(self._sealed) + len(self._open)
+        return 20 * max(self._total_slots, len(self._where)) \
+            + self.SEGMENT_OVERHEAD_BYTES * segments

@@ -80,15 +80,42 @@ class MrcBuilder:
         else:
             self._distances.append(d)
 
+    def access_batch(self, lbas: np.ndarray) -> None:
+        """Feed many block accesses with one vectorized hash pass.
+
+        The SHARDS filter runs as a single :meth:`is_sampled_batch` call;
+        only the sampled survivors (typically ``rate`` of the stream) hit
+        the sequential distance tracker.  End state is bit-identical to
+        scalar :meth:`access` calls in the same order.
+        """
+        n = int(lbas.shape[0])
+        if n == 0:
+            return
+        self._total += n
+        hits = lbas[self.sampler.is_sampled_batch(lbas)]
+        self._sampled += int(hits.size)
+        if hits.size == 0:
+            return
+        distances = self._distances
+        for d in self.tracker.access_many(hits.tolist()):
+            if d is None:
+                self._cold_misses += 1
+            else:
+                distances.append(d)
+
     def feed_trace(self, trace: Trace, writes_only: bool = False) -> None:
         """Feed a whole trace (block-granular: each request contributes
         one access per block it touches)."""
         src = trace.writes() if writes_only else trace
-        offs, szs = src.offsets, src.sizes
-        for i in range(len(src)):
-            base = int(offs[i])
-            for b in range(int(szs[i])):
-                self.access(base + b)
+        offs = src.offsets.astype(np.int64, copy=False)
+        szs = src.sizes.astype(np.int64, copy=False)
+        total = int(szs.sum())
+        if total == 0:
+            return
+        # Expand (offset, size) runs into the per-block access stream.
+        starts = np.repeat(offs, szs)
+        firsts = np.repeat(np.cumsum(szs) - szs, szs)
+        self.access_batch(starts + np.arange(total, dtype=np.int64) - firsts)
 
     def build(self) -> MissRatioCurve:
         """Finalize into a :class:`MissRatioCurve`."""

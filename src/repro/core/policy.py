@@ -85,6 +85,10 @@ class AdaptPolicy(PlacementPolicy):
         self._sampled_since_adapt = 0
         self._adapt_budget = max(
             1, int(ac.adapt_every_fraction * config.logical_blocks * r))
+        #: Below this batch size the vectorized placement loses more to
+        #: NumPy dispatch than it recovers; such batches take the scalar
+        #: reference loop (identical outputs either way).
+        self._scalar_batch_max = 32
 
         # --- cross-group aggregation ----------------------------------
         self.aggregator = CrossGroupAggregator(chunk_blocks=chunk_blocks) \
@@ -158,85 +162,154 @@ class AdaptPolicy(PlacementPolicy):
 
     def place_user_batch(self, lbas: np.ndarray, ts_us: np.ndarray,
                          start_seq: int) -> np.ndarray:
-        """Hybrid batch placement: vectorized spans split at sampled blocks.
+        """Fully vectorized batch placement.
 
-        Only sampled blocks feed the adaptive pipeline (rho, ghost ladder,
-        threshold) — i.e. only they can change state that later blocks in
-        the batch observe.  So the batch is cut at every sampled LBA: the
-        sampled block goes through the exact scalar :meth:`place_user`,
-        the spans in between through :meth:`_place_user_span` (which holds
-        ``threshold``/``rho`` constant, provably unchanged there).  With a
-        10 % sample rate the spans carry ~90 % of the blocks.
+        Only sampled blocks mutate the adaptive state (rho, ghost ladder,
+        threshold), so the batch's (rho, threshold) trajectory is
+        piecewise-constant with pieces starting at state-changing samples.
+        :meth:`_advance_sampled_pipeline` walks just the sampled blocks
+        (~10 % of the stream) through the exact scalar pipeline and
+        returns that trajectory; hotness classification, first-write
+        ranking, and demotion probing then run as single array ops over
+        the whole batch.  End state and outputs are bit-identical to a
+        scalar :meth:`place_user` loop.
         """
         n = int(lbas.shape[0])
         out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out
+        if n < self._scalar_batch_max:
+            # Tiny batches (the batched engine's chunks shrink to a
+            # handful of blocks near the GC watermark) lose more to NumPy
+            # dispatch than vectorization recovers; the scalar loop IS
+            # the contract, so fall through to it directly.
+            return PlacementPolicy.place_user_batch(self, lbas, ts_us,
+                                                    start_seq)
         prev, last_mask = duplicate_chains(lbas)
-        if self.ladder is not None:
-            cuts = np.flatnonzero(self.sampler.is_sampled_batch(lbas))
-        else:
-            cuts = np.empty(0, dtype=np.int64)
-        store = self.store
-        saved = store.user_seq
-        try:
-            pos, ci, ncuts = 0, 0, int(cuts.shape[0])
-            while pos < n:
-                if ci < ncuts and int(cuts[ci]) == pos:
-                    # Sampled block: exact scalar path.  Duplicates must
-                    # see their in-batch predecessor's write time, which
-                    # the spans defer to the last occurrence — poke it in.
-                    lba = int(lbas[pos])
-                    if prev[pos] >= 0:
-                        self._last_user_write[lba] = \
-                            start_seq + int(prev[pos])
-                    store.user_seq = start_seq + pos
-                    out[pos] = self.place_user(lba, int(ts_us[pos]))
-                    pos += 1
-                    ci += 1
-                    continue
-                end = int(cuts[ci]) if ci < ncuts else n
-                self._place_user_span(
-                    lbas[pos:end], ts_us[pos:end], prev[pos:end],
-                    last_mask[pos:end], start_seq, start_seq + pos,
-                    out[pos:end])
-                pos = end
-        finally:
-            store.user_seq = saved
-        return out
-
-    def _place_user_span(self, lbas: np.ndarray, ts_us: np.ndarray,
-                         prev: np.ndarray, last_mask: np.ndarray,
-                         batch_seq0: int, now0: int,
-                         out: np.ndarray) -> None:
-        """Vectorized :meth:`place_user` for a sample-free span.
-
-        ``prev`` holds full-batch indices (offset by ``batch_seq0``);
-        ``now0`` is the logical clock of the span's first block.
-        """
-        m = int(lbas.shape[0])
-        now = now0 + np.arange(m, dtype=np.int64)
+        now = start_seq + np.arange(n, dtype=np.int64)
         last = self._last_user_write[lbas]
         dup = prev >= 0
-        last[dup] = batch_seq0 + prev[dup]
+        last[dup] = start_seq + prev[dup]
+
+        if self.ladder is not None:
+            rho_arr, thr_arr = self._advance_sampled_pipeline(
+                lbas, ts_us, last, start_seq, n)
+        else:
+            rho_arr, thr_arr = self._rho, self.threshold
+
         first = last < 0
-        v = np.empty(m, dtype=np.float64)
+        v = np.empty(n, dtype=np.float64)
         seen = ~first
         v[seen] = (now[seen] - last[seen]).astype(np.float64)
         nfirst = int(first.sum())
         if nfirst:
-            # k-th first-write sees _unique_seen + k, scaled by rho.
-            v[first] = (self._unique_seen
-                        + np.cumsum(first)[first]) * self._rho
+            # k-th first-write sees _unique_seen + k, scaled by the rho
+            # in effect at its position.
+            ranks = self._unique_seen + np.cumsum(first)[first]
+            rho_f = rho_arr if isinstance(rho_arr, float) else rho_arr[first]
+            v[first] = ranks * rho_f
             self._unique_seen += nfirst
-        hot = v < self.threshold
+        hot = v < thr_arr
         out[hot] = self.HOT
-        if self.demotion is None:
+        cold = np.flatnonzero(~hot)
+        if self.demotion is None or cold.size == 0:
             out[~hot] = self.COLD
         else:
-            for i in np.flatnonzero(~hot).tolist():
-                target = self.demotion.demotion_target(int(lbas[i]),
-                                                       int(ts_us[i]))
-                out[i] = self.COLD if target is None else target
+            cold_lbas = lbas[cold]
+            targets, scores = self.demotion.demotion_targets(cold_lbas)
+            out[cold] = np.where(targets >= 0, targets, self.COLD)
+            self.demotion.account_batch(cold_lbas, targets, scores,
+                                        ts_us[cold])
         self._last_user_write[lbas[last_mask]] = now[last_mask]
+        return out
+
+    def _advance_sampled_pipeline(
+            self, lbas: np.ndarray, ts_us: np.ndarray, last: np.ndarray,
+            start_seq: int, n: int):
+        """Run the batch's sampled blocks through the exact scalar
+        adaptation pipeline (:meth:`_observe_sample` semantics), deferring
+        ghost-ladder feeding into bulk :meth:`ThresholdLadder.record_batch`
+        calls at the adaptation checkpoints.
+
+        Returns the per-block ``(rho, threshold)`` trajectory: plain
+        floats when no sample changed them, else full piecewise-constant
+        arrays built from the change points.
+        """
+        spos = np.flatnonzero(self.sampler.is_sampled_batch(lbas))
+        if spos.size == 0:
+            return self._rho, self.threshold
+        ladder = self.ladder
+        r = self.sampler.effective_rate
+        slist = spos.tolist()
+        dists = self.distance.access_many(lbas[spos].tolist())
+        lba_s = lbas[spos].tolist()
+        last_s = last[spos].tolist()
+        ts_s = ts_us[spos].tolist()
+        rho = self._rho
+        budget = self._adapt_budget
+        count = self._sampled_since_adapt
+        pend_lba: list[int] = []
+        pend_iv: list[float | None] = []
+        pend_ts: list[int] = []
+        bounds = [0]
+        rhos = [rho]
+        thrs = [self.threshold]
+        for k in range(len(slist)):
+            d = dists[k]
+            lastv = last_s[k]
+            changed = False
+            if d is not None and d >= 1 and lastv >= 0:
+                ratio = (start_seq + slist[k] - lastv) * r / d
+                if ratio < 1e-3:
+                    ratio = 1e-3
+                rho += 0.05 * (ratio - rho)
+                changed = True
+            pend_lba.append(lba_s[k])
+            pend_iv.append(d)
+            pend_ts.append(ts_s[k])
+            count += 1
+            if count >= budget:
+                # Scalar checks ladder.ready() after every over-budget
+                # sample, so the pending records must land first.
+                ladder.record_batch(pend_lba, pend_iv, pend_ts)
+                pend_lba, pend_iv, pend_ts = [], [], []
+                if ladder.ready():
+                    self._rho = rho
+                    self._sampled_since_adapt = count
+                    self._apply_adaptation()
+                    count = self._sampled_since_adapt
+                    changed = True
+            if changed:
+                bounds.append(slist[k])
+                rhos.append(rho)
+                thrs.append(self.threshold)
+        if pend_lba:
+            ladder.record_batch(pend_lba, pend_iv, pend_ts)
+        self._rho = rho
+        self._sampled_since_adapt = count
+        if len(bounds) == 1:
+            return rhos[0], thrs[0]
+        reps = np.diff(np.asarray(bounds + [n], dtype=np.int64))
+        return (np.repeat(np.asarray(rhos, dtype=np.float64), reps),
+                np.repeat(np.asarray(thrs, dtype=np.float64), reps))
+
+    def candidate_user_gids(self, lbas: np.ndarray, ts_us: np.ndarray,
+                            start_seq: int):
+        """Exact candidate prediction for the batched engine.
+
+        Every user block lands either HOT or in its (frozen) demotion
+        alternative: demotion fires deterministically from the cascade
+        scores, which only change during GC — and the engine guarantees
+        no GC runs inside a chunk.  Hot/cold classification may evolve
+        within the chunk, but both outcomes are covered by the pair.
+        """
+        n = int(lbas.shape[0])
+        primary = np.full(n, self.HOT, dtype=np.int64)
+        if self.demotion is None:
+            return primary, np.full(n, self.COLD, dtype=np.int64)
+        t, _ = self.demotion.demotion_targets(lbas)
+        alt = np.where(t >= 0, t, self.COLD)
+        return primary, alt
 
     def _observe_sample(self, lba: int, last_seq: int, now_seq: int,
                         now_us: int) -> None:
@@ -329,6 +402,23 @@ class AdaptPolicy(PlacementPolicy):
                           if kind == APPEND_SHADOW)
             self.aggregator.on_flush(group.gid, flush.data_blocks,
                                      flush.padding_blocks, shadows)
+
+    def on_full_flush_run(self, group_id: int, flushes: int,
+                          first_tokens) -> None:
+        """Closed form of :meth:`on_chunk_flush` over a run of FULL
+        flushes: each flush carries ``chunk_blocks`` data, no padding, so
+        the monitor sees ``flushes`` full flushes and the shadow tokens —
+        which only the pre-run backlog of the first flush can contain —
+        in one update."""
+        if self.aggregator is None or group_id not in (self.HOT,
+                                                       self.COLD):
+            return
+        mon = self.aggregator.monitor_for(group_id)
+        mon.data_blocks += flushes * mon.chunk_blocks
+        mon.full_flushes += flushes
+        if first_tokens:
+            mon.shadow_blocks += sum(1 for kind, _ in first_tokens
+                                     if kind == APPEND_SHADOW)
 
     def on_segment_sealed(self, group_id: int, seg: int) -> None:
         if self.aggregator is not None and group_id in (self.HOT,

@@ -90,6 +90,38 @@ class ThresholdLadder:
         for ghost in self.ghost_sets:
             ghost.record(lba, interval, now_us)
 
+    def record_batch(self, lbas: list[int],
+                     intervals: list[float | None],
+                     ts_us: list[int]) -> None:
+        """Feed a run of sampled writes; identical to per-record calls.
+
+        A grid with duplicate thresholds (e.g. several slots clamped to
+        1.0) reuses one warm :class:`GhostSet` object in multiple slots,
+        so the scalar loop feeds it each sample ``m`` consecutive times.
+        Multiplicity is replicated here — the object's input stream must
+        match the scalar cadence exactly.
+        """
+        if not lbas:
+            return
+        self._last_seen_us = ts_us[-1]
+        mult: dict[int, int] = {}
+        for ghost in self.ghost_sets:
+            mult[id(ghost)] = mult.get(id(ghost), 0) + 1
+        done: set[int] = set()
+        for ghost in self.ghost_sets:
+            key = id(ghost)
+            if key in done:
+                continue
+            done.add(key)
+            m = mult[key]
+            if m == 1:
+                ghost.record_many(lbas, intervals, ts_us)
+            else:
+                ghost.record_many(
+                    [x for x in lbas for _ in range(m)],
+                    [x for x in intervals for _ in range(m)],
+                    [x for x in ts_us for _ in range(m)])
+
     def sampled_blocks_written(self) -> int:
         return self.ghost_sets[0].blocks_written
 

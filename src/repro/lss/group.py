@@ -126,7 +126,7 @@ class Group:
         """
         pool = self.store.pool
         sb = pool.segment_blocks
-        fast = self.store._fast_flush and not self.store.flush_listeners
+        fast = self.store._fast_full and not self.store.flush_listeners
         n = len(lba_list)
         locs = np.empty(n, dtype=np.int64)
         done = 0
@@ -163,7 +163,7 @@ class Group:
         pool = self.store.pool
         sb = pool.segment_blocks
         seq = self.store.user_seq
-        fast = self.store._fast_flush and not self.store.flush_listeners
+        fast = self.store._fast_full and not self.store.flush_listeners
         n = len(lba_list)
         locs = np.empty(n, dtype=np.int64)
         done = 0
@@ -227,8 +227,15 @@ class Group:
         t.gc_blocks += fg
         t.shadow_blocks += fs
         t.chunk_flushes += nf
+        if self._shadow_mark and self.store._obs_on:
+            # The first FULL flush is the lazy append of the shadowed
+            # backlog; it fired at the stamp of the token that filled it.
+            self.store.obs.on_lazy_append(
+                self.gid, min(self._shadow_mark, buf.chunk_blocks),
+                ts_slice[buf.chunk_blocks - p - 1])
         self._shadow_mark = 0
         self.store.stats.raid.add_chunk_ios(nf)
+        self.store.policy.on_full_flush_run(self.gid, nf, pend)
         if self.store._obs_on:
             self.store.obs.on_full_flush_bulk(
                 self.gid, self.spec.name, nf, buf.chunk_blocks,

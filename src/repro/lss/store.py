@@ -111,11 +111,26 @@ class LogStructuredStore:
         #: bulk and ``tick`` may fire deadlines through the lean counted
         #: path instead of materializing each ChunkFlush.
         from repro.placement.base import PlacementPolicy
+        base_flush_hook = (
+            type(policy).on_chunk_flush is PlacementPolicy.on_chunk_flush)
+        obs_ok = not self._obs_on or self.obs.batch_capable
         self._fast_flush = (
-            type(policy).on_chunk_flush is PlacementPolicy.on_chunk_flush
+            base_flush_hook
             and type(policy).before_padding_flush
             is PlacementPolicy.before_padding_flush
-            and (not self._obs_on or self.obs.batch_capable))
+            and obs_ok)
+        #: Weaker flag for *run appends only*: FULL flushes emitted inside
+        #: an append run never involve padding or deadline decisions, so a
+        #: policy that overrides ``on_chunk_flush`` can still opt into the
+        #: counted bulk path by providing ``on_full_flush_run`` — the
+        #: closed form of its per-flush hook over a run of FULL flushes
+        #: (ADAPT's write monitors do).  ``before_padding_flush`` overrides
+        #: do not matter here, only for ``tick``.
+        self._fast_full = (
+            (base_flush_hook
+             or type(policy).on_full_flush_run
+             is not PlacementPolicy.on_full_flush_run)
+            and obs_ok)
         #: Optional observers of physical events (e.g. the FTL bridge):
         #: called as fn(group, flush, device_lba_start) and fn(segment).
         self.flush_listeners: list = []

@@ -299,19 +299,31 @@ def render_bench(result: dict,
             continue
         by_key.setdefault((c["policy"], c["workload"]), {})[c["engine"]] = c
     rows = []
+    slower = 0
     for (policy, workload), eng in sorted(by_key.items()):
         row = [policy, workload]
         for name in ("scalar", "batched"):
             c = eng.get(name)
             row.append(f"{c['blocks_per_sec']:,.0f}" if c else "-")
         ratio = result["speedups"].get(f"{policy}/{workload}")
-        row.append(f"{ratio:.2f}x" if ratio else "-")
+        if ratio and ratio < 1.0:
+            # The batched engine LOST to the scalar loop on this cell —
+            # worth a loud marker: it usually means the chunk bounds
+            # collapsed (heavy GC pressure) or the trace is too short to
+            # amortize the vectorization overhead.
+            row.append(f"{ratio:.2f}x !")
+            slower += 1
+        else:
+            row.append(f"{ratio:.2f}x" if ratio else "-")
         rows.append(row)
     out = render_table(
         ["policy", "workload", "scalar blk/s", "batched blk/s", "speedup"],
         rows,
         title=f"replay throughput ({result['scale']} scale, best of "
               f"{result['repeats']})")
+    if slower:
+        out += (f"\n! {slower} cell(s) slower batched than scalar "
+                f"(speedup < 1.00x)")
     overhead = result.get("obs_overhead") or {}
     if overhead:
         worst = max(overhead.values())

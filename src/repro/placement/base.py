@@ -101,6 +101,29 @@ class PlacementPolicy:
         """
         return range(len(self.group_specs()))
 
+    def candidate_user_gids(self, lbas: np.ndarray, ts_us: np.ndarray,
+                            start_seq: int) -> tuple[np.ndarray,
+                                                     np.ndarray] | None:
+        """Predict, per block, the groups :meth:`place_user` *could* route
+        it to — before any placement happens.
+
+        Contract (see ``docs/extending.md``): called by the batched replay
+        engine under the same no-GC/no-deadline guarantee as
+        :meth:`place_user_batch`, with block ``i`` at logical clock
+        ``start_seq + i``.  Must be **pure**: no metadata writes, no
+        counters, no obs events.  Return ``None`` (the default) when
+        prediction is unavailable — the engine then sizes chunks
+        adversarially over the full :meth:`user_placement_gids` set.
+        Otherwise return ``(primary, alt)`` int64 arrays: placing any
+        prefix of the batch must route block ``i`` to ``primary[i]`` or
+        ``alt[i]`` (``alt[i] == -1`` claims the placement is exactly
+        ``primary[i]``).  The engine uses these per-block candidate sets
+        to cap how many blocks the chunk could possibly push into each
+        group, which makes chunks near the GC watermark dramatically
+        larger for multi-group policies.
+        """
+        return None
+
     def place_gc_batch(self, lbas: np.ndarray, victim_group: int,
                        now_us: int) -> np.ndarray:
         """Route one victim's GC-migrated valid blocks; one group id each.
@@ -144,6 +167,24 @@ class PlacementPolicy:
 
     def on_chunk_flush(self, group: Group, flush) -> None:
         """A chunk of ``group`` was written to the array."""
+
+    def on_full_flush_run(self, group_id: int, flushes: int,
+                          first_tokens) -> None:
+        """Opt-in bulk form of :meth:`on_chunk_flush` for run appends.
+
+        When a policy overrides this, the batched run-append path skips
+        materializing the ``FULL`` :class:`ChunkFlush` objects a run
+        emits and calls this once instead: ``flushes`` FULL flushes of
+        ``chunk_blocks`` data blocks each (zero padding) landed in group
+        ``group_id``; ``first_tokens`` holds the pre-run pending tokens
+        absorbed by the *first* flush (empty when the run started on a
+        chunk boundary) — the only place non-run token kinds such as
+        shadow appends can hide.  An override MUST reproduce exactly the
+        state updates its ``on_chunk_flush`` would have applied across
+        those flushes; the equivalence suites compare the two paths.
+        Padding (deadline/forced) flushes always take the materialized
+        per-flush path regardless of this hook.
+        """
 
     def on_segment_reclaimed(self, group_id: int, created_seq: int,
                              sealed_seq: int, now_seq: int,

@@ -1,0 +1,159 @@
+"""Property suite: the batched ADAPT hot-path primitives are bit-identical
+to their scalar reference loops over randomized interleavings.
+
+Each test drives two copies of the same component from the same randomized
+stream — one through the scalar per-record API, one through the batched
+API with a random chop into sub-batches (including size-1 batches, which
+must also compose with interleaved scalar calls) — and asserts the full
+observable state matches, not just the final answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.demotion import ProactiveDemotion
+from repro.core.distance import DistanceTracker
+from repro.core.ghost import GhostSet
+from repro.core.sampling import SpatialSampler
+from repro.core.threshold import ThresholdLadder
+
+pytestmark = pytest.mark.property
+
+
+def _chop(rng: np.random.Generator, n: int) -> list[tuple[int, int]]:
+    """Random partition of ``range(n)`` into contiguous batches."""
+    cuts = sorted(rng.choice(np.arange(1, n), size=min(n - 1, int(
+        rng.integers(0, max(n // 2, 1)))), replace=False).tolist()) \
+        if n > 1 else []
+    bounds = [0] + cuts + [n]
+    return list(zip(bounds[:-1], bounds[1:]))
+
+
+def _ghost_state(g: GhostSet) -> tuple:
+    """Full observable state of a ghost set, buffers included."""
+    return (
+        g.blocks_written, g.blocks_discarded, g.padding_blocks,
+        g.gc_passes, g._total_slots,
+        sorted(g._where),
+        [(s.blocks, s.padding, s.valid, s.sealed) for s in g._open],
+        [(s.blocks, s.padding, s.valid, s.sealed) for s in g._sealed],
+        [(list(b._tokens), b._timer_start_us) for b in g._buffers],
+    )
+
+
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300),
+       sla_mode=st.sampled_from(["idle", "first"]))
+@settings(max_examples=60, deadline=None)
+def test_ghost_record_many_matches_scalar(seed, n, sla_mode):
+    rng = np.random.default_rng(seed)
+    lbas = rng.integers(0, 40, size=n).tolist()
+    ts, t = [], 0
+    for _ in range(n):
+        t += int(rng.integers(0, 60))
+        ts.append(t)
+    intervals: list[float | None] = [
+        None if rng.random() < 0.3 else float(rng.integers(0, 64))
+        for _ in range(n)]
+
+    def make():
+        return GhostSet(threshold=16.0, segment_blocks=16, chunk_blocks=4,
+                        window_us=50, garbage_limit=0.5, sla_mode=sla_mode)
+
+    ref, bat = make(), make()
+    for i in range(n):
+        ref.record(lbas[i], intervals[i], ts[i])
+    for a, b in _chop(rng, n):
+        if rng.random() < 0.25:
+            # Mix scalar calls into the batched stream: both paths share
+            # one canonical state, so arbitrary interleavings must agree.
+            for i in range(a, b):
+                bat.record(lbas[i], intervals[i], ts[i])
+        else:
+            bat.record_many(lbas[a:b], intervals[a:b], ts[a:b])
+    assert _ghost_state(ref) == _ghost_state(bat)
+
+
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 200),
+       num_sets=st.integers(2, 5))
+@settings(max_examples=25, deadline=None)
+def test_ladder_record_batch_matches_scalar(seed, n, num_sets):
+    """The ladder replicates duplicate-threshold multiplicity: a warm
+    ghost set reused in m grid slots must see each sample m times."""
+    rng = np.random.default_rng(seed)
+    lbas = rng.integers(0, 32, size=n).tolist()
+    ts = np.cumsum(rng.integers(0, 40, size=n)).tolist()
+    intervals = [None if rng.random() < 0.3 else float(rng.integers(0, 32))
+                 for _ in range(n)]
+
+    def make():
+        return ThresholdLadder(num_sets=num_sets, segment_blocks=16,
+                               chunk_blocks=4, window_us=50,
+                               garbage_limit=0.5)
+
+    ref, bat = make(), make()
+    for i in range(n):
+        ref.record(lbas[i], intervals[i], ts[i])
+    for a, b in _chop(rng, n):
+        bat.record_batch(lbas[a:b], intervals[a:b], ts[a:b])
+    for gr, gb in zip(ref.ghost_sets, bat.ghost_sets):
+        assert _ghost_state(gr) == _ghost_state(gb)
+
+
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 400),
+       rate=st.sampled_from([0.01, 0.1, 0.5, 1.0]))
+@settings(max_examples=50, deadline=None)
+def test_sampler_batch_matches_scalar(seed, n, rate):
+    rng = np.random.default_rng(seed)
+    lbas = rng.integers(0, 10_000, size=n)
+    s = SpatialSampler(rate, salt=int(rng.integers(0, 2**31)))
+    scalar = np.array([s.is_sampled(int(x)) for x in lbas])
+    assert np.array_equal(s.is_sampled_batch(lbas), scalar)
+
+
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(1, 300))
+@settings(max_examples=50, deadline=None)
+def test_distance_access_many_matches_scalar(seed, n):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 50, size=n).tolist()
+    ref, bat = DistanceTracker(), DistanceTracker()
+    want = [ref.access(k) for k in keys]
+    got: list[int | None] = []
+    for a, b in _chop(rng, n):
+        got.extend(bat.access_many(keys[a:b]))
+    assert got == want
+    bat.check_invariants()
+
+
+@given(seed=st.integers(0, 2**32 - 1), ops=st.integers(1, 250))
+@settings(max_examples=50, deadline=None)
+def test_demotion_targets_match_scalar_under_mutation(seed, ops):
+    """Batched (memoized) probes must track the scalar scan across an
+    arbitrary interleaving of GC-path discriminator mutations — inserts
+    invalidate one LBA, cascade evictions invalidate everything."""
+    rng = np.random.default_rng(seed)
+    gids = [2, 3, 4]
+
+    def make():
+        return ProactiveDemotion(gids, score_threshold=2, num_filters=3,
+                                 capacity=8, fp_rate=0.01)
+
+    ref, bat = make(), make()
+    for _ in range(ops):
+        if rng.random() < 0.5:
+            lba = int(rng.integers(0, 30))
+            g = int(rng.choice(gids))
+            ref.on_gc_block(lba, g, g)
+            bat.on_gc_block(lba, g, g)
+        else:
+            lbas = rng.integers(0, 30, size=int(rng.integers(1, 12)))
+            targets, scores = bat.demotion_targets(lbas)
+            for i, lba in enumerate(lbas.tolist()):
+                want = ref.demotion_target(lba)
+                assert targets[i] == (-1 if want is None else want)
+    # The pure batched probe takes no accounting side effects; totals are
+    # applied separately via account_batch on the placement path.
+    assert bat.demotions == 0
