@@ -9,6 +9,8 @@ Examples::
     adapt-repro replay --scheme adapt --metrics-out out/
     adapt-repro obs --scheme adapt --out obs-out/
     adapt-repro obs --scheme adapt --no-trace --timeline-every 4096
+    adapt-repro obs --scheme adapt --no-trace --attribution
+    adapt-repro analyze --trace run.trace.json --attribution a.json
     adapt-repro bench --scale default
     adapt-repro bench --obs off,metrics --profile-out bench.trace.json
     adapt-repro bench --fleet-workers 1,2,4 --fleet-volumes 16
@@ -198,10 +200,20 @@ def _cmd_obs(args) -> str:
                            trace_events=not args.no_trace,
                            event_sample_every=args.event_sample_every,
                            timeline=timeline)
+    attribution = None
+    if args.attribution:
+        from repro.obs.attribution import AttributionRecorder
+        attribution = AttributionRecorder()
     result = replay_volume(args.scheme, trace, victim=args.victim,
                            logical_blocks=s.volume_blocks, seed=args.seed,
-                           recorder=recorder)
+                           recorder=recorder, attribution=attribution)
     written = _export_observability(recorder, args.out, trace.volume)
+    if attribution is not None:
+        from repro.obs.attribution import write_attribution_json
+        attr_path = os.path.join(args.out,
+                                 f"{trace.volume}.attribution.json")
+        write_attribution_json(result.attribution, attr_path)
+        written.append(attr_path)
     counts = recorder.tracer.counts
     rows = [[k, counts[k]] for k in sorted(counts)]
     rows.append(["(series rows)", len(recorder.series)])
@@ -243,9 +255,11 @@ def _cmd_bench(args) -> tuple[str, bool]:
             return (f"unknown workload(s) {','.join(unknown)}; "
                     f"choose from {','.join(PROFILES)}", False)
         kwargs["profiles"] = profiles
+    attr_modes = tuple(args.attr.split(","))
     result = run_bench(scale, policies=policies, engines=engines,
                        repeats=args.repeats, seed=args.seed,
-                       obs_modes=obs_modes, **kwargs)
+                       obs_modes=obs_modes, attr_modes=attr_modes,
+                       **kwargs)
     if args.fleet_workers:
         from repro.perf.bench import run_fleet_bench
         workers = tuple(int(w) for w in args.fleet_workers.split(","))
@@ -275,6 +289,48 @@ def _cmd_bench(args) -> tuple[str, bool]:
     return out, ok
 
 
+def _cmd_analyze(args) -> tuple[str, bool]:
+    """Bottleneck explainer over profiler/attribution/timeline artifacts.
+
+    Returns the rendered report and whether at least one artifact was
+    readable (so a typo'd path exits non-zero instead of printing an
+    empty report).
+    """
+    from repro.obs.analyze import (analyze, load_chrome_trace,
+                                   load_timeline_tail, render_report,
+                                   write_report_json)
+    import json as _json
+    trace = attribution = timeline = None
+    errors: list[str] = []
+    if args.trace:
+        try:
+            trace = load_chrome_trace(args.trace)
+        except (OSError, ValueError) as exc:
+            errors.append(f"cannot read trace {args.trace}: {exc}")
+    if args.attribution:
+        try:
+            with open(args.attribution, encoding="utf-8") as f:
+                attribution = _json.load(f)
+        except (OSError, ValueError) as exc:
+            errors.append(
+                f"cannot read attribution {args.attribution}: {exc}")
+    if args.timeline:
+        try:
+            timeline = load_timeline_tail(args.timeline)
+        except (OSError, ValueError) as exc:
+            errors.append(f"cannot read timeline {args.timeline}: {exc}")
+    loaded = [x for x in (trace, attribution, timeline) if x is not None]
+    report = analyze(trace=trace, attribution=attribution,
+                     timeline=timeline)
+    out = render_report(report)
+    if errors:
+        out += "\n".join(errors) + "\n"
+    if args.out:
+        path = write_report_json(report, args.out)
+        out += f"report written: {path}"
+    return out.rstrip(), bool(loaded) and not errors
+
+
 def _cmd_fleet(args) -> tuple[str, bool]:
     """Sharded fleet replay with checkpoint/resume.
 
@@ -294,7 +350,8 @@ def _cmd_fleet(args) -> tuple[str, bool]:
         volume_blocks=args.volume_blocks or s.volume_blocks,
         volume_requests=args.volume_requests or s.volume_requests,
         engine=args.engine, collect_metrics=args.metrics,
-        timeline_every=args.timeline_every, **overrides)
+        timeline_every=args.timeline_every,
+        collect_attribution=args.attribution, **overrides)
     result = run_fleet(spec, workers=args.workers,
                        checkpoint_every=args.checkpoint_every,
                        out_dir=args.out, resume=args.resume)
@@ -382,7 +439,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record a replay timeline (WA, padding, "
                         "occupancy, threshold) every BLOCKS user blocks "
                         "and export it as CSV")
+    p.add_argument("--attribution", action="store_true",
+                   help="collect causal attribution (chunk-bound causes, "
+                        "GC provenance, per-group WA ledger) and export "
+                        "<volume>.attribution.json")
     add_profile_out(p)
+
+    p = sub.add_parser("analyze",
+                       help="explain a run's bottlenecks from its "
+                            "profiler trace, attribution JSON, and/or "
+                            "timeline artifacts")
+    p.add_argument("--trace", default=None, metavar="JSON",
+                   help="Chrome trace_event profile "
+                        "(from any command's --profile-out)")
+    p.add_argument("--attribution", default=None, metavar="JSON",
+                   help="attribution snapshot "
+                        "(from obs --attribution or fleet --attribution)")
+    p.add_argument("--timeline", default=None, metavar="CSV",
+                   help="replay timeline CSV/JSONL "
+                        "(from obs --timeline-every)")
+    p.add_argument("--out", default=None, metavar="JSON",
+                   help="also write the report as JSON (atomic)")
 
     p = sub.add_parser("validate",
                        help="differential sweep: fast store vs the "
@@ -440,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated observability modes to bench "
                         "(off, metrics, trace; default: off). trace "
                         "cells run on the scalar engine only")
+    p.add_argument("--attr", default="off", metavar="M,M",
+                   help="comma-separated attribution modes to bench "
+                        "(off, on; default: off). 'on' cells measure "
+                        "causal-attribution overhead")
     p.add_argument("--fleet-workers", default=None, metavar="N,N",
                    help="also bench sharded fleet replay at these worker "
                         "counts (e.g. 1,2,4); adds a 'fleet' section to "
@@ -491,6 +572,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="attach a metrics recorder per volume and carry "
                         "snapshots into the summary")
+    p.add_argument("--attribution", action="store_true",
+                   help="collect per-volume causal attribution and merge "
+                        "it deterministically into the summary")
     p.add_argument("--timeline-every", type=_positive_int, default=None,
                    metavar="BLOCKS",
                    help="export a per-volume replay timeline CSV sampled "
@@ -510,6 +594,8 @@ def _dispatch(args) -> tuple[str, bool]:
         return _cmd_bench(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     return _FIGS[args.command](args), True
 
 
@@ -517,7 +603,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print("experiments:", ", ".join(sorted(_FIGS)),
-              "+ replay, obs, validate, bench, fleet")
+              "+ replay, obs, analyze, validate, bench, fleet")
         return 0
     profile_out = getattr(args, "profile_out", None)
     if not profile_out:

@@ -42,6 +42,10 @@ class VolumeResult:
     #: Observability snapshot (:meth:`repro.obs.ObsRecorder.snapshot`) when
     #: the replay ran with metrics collection; ``None`` otherwise.
     metrics: dict | None = field(default=None, repr=False)
+    #: Causal-attribution snapshot
+    #: (:meth:`repro.obs.attribution.AttributionRecorder.snapshot`) when
+    #: the replay ran with attribution; ``None`` otherwise.
+    attribution: dict | None = field(default=None, repr=False)
 
 
 def store_config_for(trace_blocks: int, victim: str = "greedy",
@@ -63,6 +67,8 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
                   recorder: ObsRecorder | None = None,
                   collect_metrics: bool = False,
                   engine: str = "auto",
+                  attribution=None,
+                  collect_attribution: bool = False,
                   **policy_kwargs) -> VolumeResult:
     """Replay one volume under one scheme and victim policy.
 
@@ -75,6 +81,12 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
     ``engine`` selects the replay engine (``"auto"``/``"batched"``/
     ``"scalar"``, see :meth:`LogStructuredStore.replay`); both engines
     produce identical results, so this only matters for benchmarking.
+
+    Attribution is opt-in the same way as metrics: pass
+    ``collect_attribution=True`` for a default
+    :class:`~repro.obs.attribution.AttributionRecorder`, or supply a
+    configured ``attribution`` sink; the result carries its snapshot in
+    :attr:`VolumeResult.attribution`.
     """
     if logical_blocks is None:
         blocks = trace.max_lba() + 1
@@ -87,9 +99,13 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
     policy = make_policy(scheme, cfg, **policy_kwargs)
     if recorder is None and collect_metrics:
         recorder = ObsRecorder()
+    if attribution is None and collect_attribution:
+        from repro.obs.attribution import AttributionRecorder
+        attribution = AttributionRecorder()
     with obs_profile.current().span(
             f"cell:{scheme}:{trace.volume}", victim=victim):
-        store = LogStructuredStore(cfg, policy, recorder=recorder)
+        store = LogStructuredStore(cfg, policy, recorder=recorder,
+                                   attribution=attribution)
         stats = store.replay(trace, engine=engine)
     groups: tuple[dict, ...] = ()
     occupancy: tuple[int, ...] = ()
@@ -116,6 +132,8 @@ def replay_volume(scheme: str, trace: Trace, victim: str = "greedy",
         group_occupancy=occupancy,
         policy_memory_bytes=policy.memory_bytes(),
         metrics=recorder.snapshot() if recorder is not None else None,
+        attribution=(attribution.snapshot()
+                     if attribution is not None else None),
     )
 
 

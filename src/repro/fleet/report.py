@@ -17,8 +17,11 @@ import numpy as np
 
 from repro.obs.atomicio import atomic_write
 
-#: Fleet summary schema version.
-SUMMARY_SCHEMA = 1
+#: Fleet summary schema version.  v2: volume reports carry an
+#: ``attribution`` snapshot, and the aggregate gains ``metrics_totals``
+#: (counters + histograms, not just counters) and a merged
+#: ``attribution`` section when the spec collected them.
+SUMMARY_SCHEMA = 2
 
 #: Percentiles reported for every headline ratio.
 PERCENTILES = (50, 95, 99)
@@ -49,6 +52,9 @@ def volume_report(spec, tenant_id: str, store, recorder=None) -> dict:
             for g in stats.groups],
         "policy_memory_bytes": store.policy.memory_bytes(),
         "metrics": recorder.snapshot() if recorder is not None else None,
+        # NullAttribution snapshots to None, so the key is always present
+        # and only populated when the spec collected attribution.
+        "attribution": store.attribution.snapshot(),
     }
 
 
@@ -89,6 +95,14 @@ def aggregate_fleet(volumes: list[dict]) -> dict:
     counters = _sum_metric_counters(volumes)
     if counters is not None:
         out["metrics_counter_totals"] = counters
+        from repro.obs.metrics import merge_metric_snapshots
+        out["metrics_totals"] = merge_metric_snapshots(
+            [v["metrics"] for v in volumes if v.get("metrics")])
+    from repro.obs.attribution import merge_attribution_snapshots
+    attribution = merge_attribution_snapshots(
+        [v.get("attribution") for v in volumes])
+    if attribution is not None:
+        out["attribution"] = attribution
     return out
 
 

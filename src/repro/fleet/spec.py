@@ -52,6 +52,10 @@ class FleetSpec:
         timeline_every: when set, record a per-volume
             :class:`~repro.obs.timeline.ReplayTimeline` sampled every N
             user blocks (exported next to the summary).
+        collect_attribution: attach an
+            :class:`~repro.obs.attribution.AttributionRecorder` per
+            volume; snapshots ride the volume reports and merge
+            deterministically into the summary aggregate.
     """
 
     profile: str = "ali"
@@ -65,6 +69,7 @@ class FleetSpec:
     engine: str = "auto"
     collect_metrics: bool = False
     timeline_every: int | None = None
+    collect_attribution: bool = False
 
     def __post_init__(self) -> None:
         if self.num_volumes < 1:

@@ -47,8 +47,13 @@ def _fresh_store(spec: FleetSpec, tenant_id: str):
             from repro.obs.timeline import ReplayTimeline
             timeline = ReplayTimeline(every_blocks=spec.timeline_every)
         recorder = ObsRecorder(timeline=timeline)
+    attribution = None
+    if spec.collect_attribution:
+        from repro.obs.attribution import AttributionRecorder
+        attribution = AttributionRecorder()
     policy = make_policy(spec.scheme, cfg)
-    store = LogStructuredStore(cfg, policy, recorder=recorder)
+    store = LogStructuredStore(cfg, policy, recorder=recorder,
+                               attribution=attribution)
     return store, recorder
 
 

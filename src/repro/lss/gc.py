@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.lss.segment import SEG_SEALED
+from repro.lss.segment import ORIGIN_GC, SEG_SEALED
 from repro.placement.base import PlacementPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -66,6 +66,17 @@ class GarbageCollector:
         lbas = pool.valid_lbas(victim)
         stats = store.stats
         stats.gc_passes += 1
+        attr_on = store._attr_on
+        if attr_on:
+            # Victim attribution must be taken before migration: both
+            # migration paths clear the victim's slot_valid plane.
+            orig = pool.slot_origin[victim][pool.slot_valid[victim]]
+            gc_origin = int(np.count_nonzero(orig == ORIGIN_GC))
+            store.attribution.on_gc_victim(
+                victim_group,
+                store.user_seq - int(pool.created_seq[victim]),
+                int(lbas.size), pool.segment_blocks,
+                int(lbas.size) - gc_origin, gc_origin)
         if store.batched_mode and lbas.size:
             self._migrate_batch(lbas, victim, victim_group, now_us)
         else:
@@ -80,6 +91,12 @@ class GarbageCollector:
                         f"mapping for lba {lba} points outside victim "
                         f"{victim}")
                 new_loc = store.groups[dest].append_gc(lba, now_us)
+                if attr_on:
+                    # Preserve the birth epoch, flip origin: a later
+                    # ORIGIN_GC read means "migrated at least twice".
+                    pool.slot_epoch_flat[new_loc] = \
+                        pool.slot_epoch_flat[old_loc]
+                    pool.slot_origin_flat[new_loc] = ORIGIN_GC
                 pool.invalidate(old_loc)
                 store.mapping[lba] = new_loc
                 stats.gc_blocks_migrated += 1
@@ -126,6 +143,12 @@ class GarbageCollector:
                 group = store.groups[int(dests[b0])]
                 locs[b0:b1] = group.append_gc_run(lbas[b0:b1],
                                                   lba_list[b0:b1], now_us)
+        if store._attr_on:
+            # Gather epochs before scatter: old slots live in the victim,
+            # new slots outside it, so the planes never alias.
+            epochs = pool.slot_epoch_flat[old_locs]
+            pool.slot_origin_flat[locs] = ORIGIN_GC
+            pool.slot_epoch_flat[locs] = epochs
         # The batch is exactly the victim's valid set (checked above), so
         # the per-slot invalidation walk collapses to one row reset.
         pool.invalidate_all(victim)

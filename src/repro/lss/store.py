@@ -16,10 +16,11 @@ from repro.common.errors import ConfigError
 from repro.lss.config import LSSConfig
 from repro.lss.gc import GarbageCollector
 from repro.lss.group import Group, GroupKind
-from repro.lss.segment import SegmentPool
+from repro.lss.segment import ORIGIN_USER, SegmentPool
 from repro.lss.stats import StoreStats
 from repro.lss.victim import make_victim_policy
 from repro.obs import profile as obs_profile
+from repro.obs.attribution import NULL_ATTRIBUTION, NullAttribution
 from repro.obs.recorder import NULL_RECORDER, NullRecorder
 from repro.trace.model import OP_WRITE, Trace
 
@@ -40,15 +41,24 @@ class LogStructuredStore:
             set, the store notifies it after every accepted user block and
             at finalize so cross-structure invariants are checked on a
             cadence while the replay is in flight.
+        attribution: causal-attribution sink
+            (:class:`repro.obs.attribution.AttributionRecorder`); defaults
+            to the shared no-op sink.  When enabled the segment pool
+            tracks per-slot origin/epoch provenance and GC emits victim
+            attribution records.
     """
 
     def __init__(self, config: LSSConfig, policy,
                  recorder: NullRecorder | None = None,
-                 auditor=None) -> None:
+                 auditor=None,
+                 attribution: NullAttribution | None = None) -> None:
         self.config = config
         self.policy = policy
         self.obs = NULL_RECORDER if recorder is None else recorder
         self._obs_on = self.obs.enabled
+        self.attribution = (NULL_ATTRIBUTION if attribution is None
+                            else attribution)
+        self._attr_on = self.attribution.enabled
         #: Set by the batched engine around scalar bursts when the
         #: recorder is batch-capable: per-block user-write hooks are
         #: skipped and the burst reports one ``on_user_write_bulk`` at
@@ -68,6 +78,8 @@ class LogStructuredStore:
 
         self.pool = SegmentPool(config.physical_segments,
                                 config.segment_blocks)
+        if self._attr_on:
+            self.pool.enable_provenance()
         self.mapping = np.full(config.logical_blocks, UNMAPPED,
                                dtype=np.int64)
         self.stats = StoreStats()
@@ -78,6 +90,7 @@ class LogStructuredStore:
             self.stats.groups.append(group.traffic)
         # Bind observability after groups exist: a recorder-attached
         # timeline derives its occupancy columns from the group list.
+        self.attribution.bind_store(self)
         self.obs.bind_store(self)
         self._sla_groups = [g for g in self.groups
                             if g.spec.kind in (GroupKind.USER,
@@ -169,6 +182,11 @@ class LogStructuredStore:
         gid = self.policy.place_user(lba, now_us)
         loc = self.groups[gid].append_user(lba, now_us)
         self.mapping[lba] = loc
+        if self._attr_on:
+            # Birth epoch = pre-increment user_seq; GC migrations carry
+            # it forward while flipping the origin to ORIGIN_GC.
+            self.pool.slot_origin_flat[loc] = ORIGIN_USER
+            self.pool.slot_epoch_flat[loc] = self.user_seq
         self.user_seq += 1
         self.stats.user_blocks_requested += 1
         if self._obs_on and not self._defer_user_obs:
@@ -297,6 +315,12 @@ class LogStructuredStore:
             if tick_at is None:
                 break
             self.tick(tick_at)
+        if self._attr_on:
+            # Same tags the scalar loop writes one block at a time: batch
+            # epochs are the pre-increment user_seq of each block.
+            self.pool.slot_origin_flat[locs] = ORIGIN_USER
+            self.pool.slot_epoch_flat[locs] = np.arange(
+                start_seq, start_seq + n, dtype=np.int64)
         self.stats.user_blocks_requested += n
         if self._obs_on:
             self.obs.on_user_write_bulk(n, lba_list[-1], ts_list[-1])
@@ -357,6 +381,8 @@ class LogStructuredStore:
                 group.force_flush(now)
             if self._obs_on:
                 self.obs.on_finalize(self.stats)
+            if self._attr_on:
+                self.attribution.on_finalize(self)
             if self._auditor is not None:
                 self._auditor.on_finalize(self)
 

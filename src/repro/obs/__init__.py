@@ -16,7 +16,14 @@ The package has five layers:
 * :mod:`repro.obs.profile` — wall-clock phase spans with Chrome
   ``trace_event`` and top-N table exports;
 * :mod:`repro.obs.timeline` — periodic per-N-blocks snapshots of WA,
-  padding, occupancy, and threshold position as a NumPy timeseries.
+  padding, occupancy, and threshold position as a NumPy timeseries;
+* :mod:`repro.obs.attribution` — causal attribution: chunk-bound
+  termination causes, the GC provenance ledger, and deterministic
+  cross-shard snapshot merging (the default
+  :data:`~repro.obs.attribution.NULL_ATTRIBUTION` makes every hook a
+  no-op);
+* :mod:`repro.obs.analyze` — the ``adapt-repro analyze`` bottleneck
+  explainer over profiler traces, attribution snapshots and timelines.
 
 Exporters (:mod:`repro.obs.exporters`) turn a recorder into artifacts: a
 JSONL event log, a CSV time-series of headline metrics, a Prometheus
@@ -24,7 +31,23 @@ text-format snapshot, and timeline CSV/JSONL — all written atomically
 (:mod:`repro.obs.atomicio`).
 """
 
+from repro.obs.analyze import (
+    analyze,
+    load_chrome_trace,
+    load_timeline_tail,
+    render_report,
+    write_report_json,
+)
 from repro.obs.atomicio import atomic_write, ensure_parent
+from repro.obs.attribution import (
+    CHUNK_CAUSES,
+    NULL_ATTRIBUTION,
+    AttributionRecorder,
+    NullAttribution,
+    invariant_view,
+    merge_attribution_snapshots,
+    write_attribution_json,
+)
 from repro.obs.events import (
     EV_CHUNK_FLUSH,
     EV_CHUNK_FLUSH_BULK,
@@ -61,9 +84,22 @@ from repro.obs.recorder import (
     NullRecorder,
     ObsRecorder,
 )
-from repro.obs.timeline import BASE_COLUMNS, ReplayTimeline
+from repro.obs.timeline import ATTR_COLUMNS, BASE_COLUMNS, ReplayTimeline
 
 __all__ = [
+    "AttributionRecorder",
+    "NullAttribution",
+    "NULL_ATTRIBUTION",
+    "CHUNK_CAUSES",
+    "invariant_view",
+    "merge_attribution_snapshots",
+    "write_attribution_json",
+    "analyze",
+    "load_chrome_trace",
+    "load_timeline_tail",
+    "render_report",
+    "write_report_json",
+    "ATTR_COLUMNS",
     "Counter",
     "Gauge",
     "Histogram",

@@ -186,3 +186,46 @@ class MetricsRegistry:
                 }
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
+
+
+def merge_metric_snapshots(snapshots: list[dict]) -> dict | None:
+    """Deterministically merge :meth:`MetricsRegistry.snapshot` dicts.
+
+    Counters sum; histograms with identical bucket edges sum their
+    per-bucket counts, sums, and totals (mismatched edges are a caller
+    bug and raise).  Gauges are point-in-time values with no meaningful
+    cross-volume sum, so they are dropped.  Keys come out sorted, making
+    the merge independent of input order given equal content.  Returns
+    ``None`` when no snapshot is present.
+    """
+    live = [s for s in snapshots if s]
+    if not live:
+        return None
+    counters: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in live:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, h in snap.get("histograms", {}).items():
+            cur = histograms.get(name)
+            if cur is None:
+                histograms[name] = {
+                    "edges": list(h["edges"]),
+                    "counts": list(h["counts"]),
+                    "sum": h["sum"],
+                    "count": h["count"],
+                }
+            else:
+                if cur["edges"] != list(h["edges"]):
+                    raise ConfigError(
+                        f"histogram {name!r} bucket edges differ across "
+                        f"snapshots; cannot merge")
+                cur["counts"] = [a + b for a, b
+                                 in zip(cur["counts"], h["counts"])]
+                cur["sum"] += h["sum"]
+                cur["count"] += h["count"]
+    return {
+        "volumes": len(live),
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }

@@ -139,9 +139,15 @@ class PhaseProfiler:
             if args:
                 ev["args"] = args
             trace_events.append(ev)
+        # ``profile_events_dropped`` is the canonical key (the analyze
+        # CLI and CI read it); ``dropped_events`` stays for older readers.
         return {"traceEvents": trace_events,
                 "displayTimeUnit": "ms",
-                "otherData": {"dropped_events": self.dropped_events}}
+                "otherData": {
+                    "dropped_events": self.dropped_events,
+                    "profile_events_dropped": self.dropped_events,
+                    "max_events": self.max_events,
+                }}
 
     def write_chrome_trace(self, path: str) -> str:
         """Atomically write :meth:`chrome_trace` to ``path``; returns it."""
@@ -165,7 +171,9 @@ class PhaseProfiler:
         if not ranked:
             lines.append("(no spans recorded)")
         if self.dropped_events:
-            lines.append(f"({self.dropped_events} raw spans dropped "
+            lines.append(f"(profile_events_dropped="
+                         f"{self.dropped_events}: "
+                         f"{self.dropped_events} raw spans dropped "
                          f"beyond max_events={self.max_events}; "
                          f"aggregates above remain complete)")
         return "\n".join(lines)

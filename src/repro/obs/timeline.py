@@ -32,6 +32,13 @@ BASE_COLUMNS: tuple[str, ...] = (
     "gc_ratio", "threshold", "free_segments",
 )
 
+#: Cumulative attribution columns appended when the bound store carries
+#: an enabled attribution recorder.
+ATTR_COLUMNS: tuple[str, ...] = (
+    "attr_gc_victims", "attr_migrated_user_origin",
+    "attr_migrated_gc_origin",
+)
+
 
 class ReplayTimeline:
     """Periodic per-N-blocks store snapshots as a float64 matrix.
@@ -51,6 +58,7 @@ class ReplayTimeline:
         self.every_blocks = every_blocks
         self.capture_occupancy = capture_occupancy
         self._store: Any = None
+        self._attr: Any = None
         self._columns: tuple[str, ...] = BASE_COLUMNS
         self._buf = np.empty((0, len(BASE_COLUMNS)), dtype=np.float64)
         self._n = 0
@@ -60,11 +68,20 @@ class ReplayTimeline:
     # lifecycle (driven by the owning recorder)
     # ------------------------------------------------------------------
     def bind(self, store: Any) -> None:
-        """Attach to a store; resets any previously collected rows."""
+        """Attach to a store; resets any previously collected rows.
+
+        When the store carries an enabled attribution recorder, three
+        ``attr_*`` columns (GC victims and migrated-block origin mix,
+        cumulative) join the timeline so GC provenance can be read off
+        the same time axis as WA.
+        """
         self._store = store
+        attr = getattr(store, "attribution", None)
+        self._attr = attr if attr is not None and attr.enabled else None
         occ = tuple(f"occ_{g.spec.name}" for g in store.groups) \
             if self.capture_occupancy else ()
-        self._columns = BASE_COLUMNS + occ
+        attr_cols = ATTR_COLUMNS if self._attr is not None else ()
+        self._columns = BASE_COLUMNS + occ + attr_cols
         self._buf = np.empty((64, len(self._columns)), dtype=np.float64)
         self._n = 0
         self._next = self.every_blocks
@@ -123,6 +140,10 @@ class ReplayTimeline:
         ]
         if self.capture_occupancy:
             row.extend(store.group_occupancy().tolist())
+        if self._attr is not None:
+            row.extend((float(self._attr.total_victims),
+                        float(self._attr.total_migrated_user_origin),
+                        float(self._attr.total_migrated_gc_origin)))
         if self._n == self._buf.shape[0]:
             grown = np.empty((max(64, self._buf.shape[0] * 2),
                               self._buf.shape[1]), dtype=np.float64)
@@ -132,4 +153,4 @@ class ReplayTimeline:
         self._n += 1
 
 
-__all__ = ["BASE_COLUMNS", "ReplayTimeline"]
+__all__ = ["ATTR_COLUMNS", "BASE_COLUMNS", "ReplayTimeline"]

@@ -20,6 +20,11 @@ recorder), ``metrics`` (default batch-capable :class:`ObsRecorder`), and
 engine rejects per-event tracing, so trace x batched cells are skipped).
 The snapshot's ``obs_overhead`` section reports the metrics-mode
 slowdown factor (off-throughput over metrics-throughput) per cell.
+
+Attribution forms a fourth axis (``attr_modes``): ``off`` (null sink)
+and ``on`` (an :class:`AttributionRecorder` collecting chunk-bound
+causes and the GC provenance ledger).  Attr-on cells run only at
+``obs=off`` and feed the snapshot's ``attr_overhead`` map.
 """
 
 from __future__ import annotations
@@ -39,7 +44,8 @@ from repro.placement.registry import available_policies, make_policy
 #: Snapshot format version (bump on incompatible layout changes).
 #: v2: cells carry an ``obs`` mode, snapshots an ``obs_overhead`` map.
 #: v3: optional ``fleet`` section (sharded-replay scaling cells).
-SCHEMA_VERSION = 3
+#: v4: cells carry an ``attr`` mode, snapshots an ``attr_overhead`` map.
+SCHEMA_VERSION = 4
 
 #: Default fractional throughput drop that counts as a regression.
 DEFAULT_THRESHOLD = 0.25
@@ -47,10 +53,13 @@ DEFAULT_THRESHOLD = 0.25
 #: Valid observability modes for the bench axis.
 OBS_MODES = ("off", "metrics", "trace")
 
+#: Valid attribution modes for the bench axis.
+ATTR_MODES = ("off", "on")
+
 
 @dataclass(frozen=True)
 class BenchCell:
-    """One (policy, workload, engine, obs) throughput measurement."""
+    """One (policy, workload, engine, obs, attr) throughput measurement."""
 
     policy: str
     workload: str
@@ -59,6 +68,7 @@ class BenchCell:
     user_blocks: int
     blocks_per_sec: float
     obs: str = "off"
+    attr: str = "off"
 
 
 def _make_recorder(obs: str):
@@ -73,6 +83,17 @@ def _make_recorder(obs: str):
     raise ValueError(f"unknown obs mode {obs!r}; choose from {OBS_MODES}")
 
 
+def _make_attribution(attr: str):
+    """Fresh attribution sink for one timed replay (``None`` when off)."""
+    if attr == "off":
+        return None
+    from repro.obs.attribution import AttributionRecorder
+    if attr == "on":
+        return AttributionRecorder()
+    raise ValueError(
+        f"unknown attr mode {attr!r}; choose from {ATTR_MODES}")
+
+
 def run_bench(scale: Scale,
               policies: list[str] | None = None,
               profiles: tuple[str, ...] = PROFILES,
@@ -80,13 +101,17 @@ def run_bench(scale: Scale,
               repeats: int = 2,
               seed: int = 0,
               date: str | None = None,
-              obs_modes: tuple[str, ...] = ("off",)) -> dict:
+              obs_modes: tuple[str, ...] = ("off",),
+              attr_modes: tuple[str, ...] = ("off",)) -> dict:
     """Run the full bench matrix; returns the snapshot dict.
 
     One volume per profile (the first of the standard experiment fleet,
     so the trace cache is shared with the figure drivers).  ``obs_modes``
     adds instrumented cells; ``trace`` cells only run on the scalar
     engine (the batched engine rejects per-event tracing).
+    ``attr_modes`` adds attribution-instrumented cells; ``attr=on``
+    cells only run at ``obs=off`` so the two overhead axes never
+    confound each other.
     """
     from repro.experiments.runner import store_config_for
     if policies is None:
@@ -97,6 +122,10 @@ def run_bench(scale: Scale,
         if mode not in OBS_MODES:
             raise ValueError(
                 f"unknown obs mode {mode!r}; choose from {OBS_MODES}")
+    for mode in attr_modes:
+        if mode not in ATTR_MODES:
+            raise ValueError(
+                f"unknown attr mode {mode!r}; choose from {ATTR_MODES}")
     traces = {p: fleet_for(p, scale)[0] for p in profiles}
     cells: list[BenchCell] = []
     for policy_name in policies:
@@ -106,26 +135,30 @@ def run_bench(scale: Scale,
                 for obs in obs_modes:
                     if obs == "trace" and engine == "batched":
                         continue
-                    best = None
-                    blocks = 0
-                    for _ in range(repeats):
-                        cfg = store_config_for(scale.volume_blocks,
-                                               seed=seed)
-                        store = LogStructuredStore(
-                            cfg, make_policy(policy_name, cfg),
-                            recorder=_make_recorder(obs))
-                        t0 = time.perf_counter()
-                        stats = store.replay(trace, engine=engine)
-                        dt = time.perf_counter() - t0
-                        blocks = stats.user_blocks_requested
-                        if best is None or dt < best:
-                            best = dt
-                    cells.append(BenchCell(
-                        policy=policy_name, workload=profile,
-                        engine=engine, obs=obs,
-                        seconds=round(best, 6), user_blocks=blocks,
-                        blocks_per_sec=round(blocks / best, 1)
-                        if best else 0.0))
+                    for attr in attr_modes:
+                        if attr != "off" and obs != "off":
+                            continue
+                        best = None
+                        blocks = 0
+                        for _ in range(repeats):
+                            cfg = store_config_for(scale.volume_blocks,
+                                                   seed=seed)
+                            store = LogStructuredStore(
+                                cfg, make_policy(policy_name, cfg),
+                                recorder=_make_recorder(obs),
+                                attribution=_make_attribution(attr))
+                            t0 = time.perf_counter()
+                            stats = store.replay(trace, engine=engine)
+                            dt = time.perf_counter() - t0
+                            blocks = stats.user_blocks_requested
+                            if best is None or dt < best:
+                                best = dt
+                        cells.append(BenchCell(
+                            policy=policy_name, workload=profile,
+                            engine=engine, obs=obs, attr=attr,
+                            seconds=round(best, 6), user_blocks=blocks,
+                            blocks_per_sec=round(blocks / best, 1)
+                            if best else 0.0))
     return {
         "schema": SCHEMA_VERSION,
         "date": date or time.strftime("%Y-%m-%d"),
@@ -137,6 +170,7 @@ def run_bench(scale: Scale,
         "cells": [asdict(c) for c in cells],
         "speedups": _speedups(cells),
         "obs_overhead": _obs_overhead(cells),
+        "attr_overhead": _attr_overhead(cells),
     }
 
 
@@ -148,7 +182,7 @@ def _speedups(cells: list[BenchCell]) -> dict[str, float]:
     """
     by_key: dict[tuple[str, str], dict[str, float]] = {}
     for c in cells:
-        if c.obs != "off":
+        if c.obs != "off" or c.attr != "off":
             continue
         by_key.setdefault((c.policy, c.workload), {})[c.engine] = \
             c.blocks_per_sec
@@ -165,6 +199,8 @@ def _obs_overhead(cells: list[BenchCell]) -> dict[str, float]:
     (policy, workload, engine); 1.0 means free instrumentation."""
     by_key: dict[tuple[str, str, str], dict[str, float]] = {}
     for c in cells:
+        if c.attr != "off":
+            continue
         by_key.setdefault((c.policy, c.workload, c.engine), {})[c.obs] = \
             c.blocks_per_sec
     out = {}
@@ -172,6 +208,24 @@ def _obs_overhead(cells: list[BenchCell]) -> dict[str, float]:
         if modes.get("off") and modes.get("metrics"):
             out[f"{policy}/{workload}/{engine}"] = round(
                 modes["off"] / modes["metrics"], 3)
+    return out
+
+
+def _attr_overhead(cells: list[BenchCell]) -> dict[str, float]:
+    """Attribution slowdown (off blk/s over attr-on blk/s) per
+    (policy, workload, engine), measured at ``obs=off`` on both sides;
+    1.0 means free attribution."""
+    by_key: dict[tuple[str, str, str], dict[str, float]] = {}
+    for c in cells:
+        if c.obs != "off":
+            continue
+        by_key.setdefault((c.policy, c.workload, c.engine), {})[c.attr] = \
+            c.blocks_per_sec
+    out = {}
+    for (policy, workload, engine), modes in sorted(by_key.items()):
+        if modes.get("off") and modes.get("on"):
+            out[f"{policy}/{workload}/{engine}"] = round(
+                modes["off"] / modes["on"], 3)
     return out
 
 
@@ -253,22 +307,22 @@ def compare_bench(current: dict, baseline: dict,
                   threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
     """Cells whose throughput regressed by more than ``threshold``.
 
-    Cells are matched on (policy, workload, engine, obs); cells present
-    in only one snapshot are ignored (policies and profiles may come and
-    go).  Schema-1 baselines have no ``obs`` field — their cells compare
-    as ``off``, which is what they measured.  Snapshots from different
-    scales never compare — a scale change is a workload change, not a
-    regression.
+    Cells are matched on (policy, workload, engine, obs, attr); cells
+    present in only one snapshot are ignored (policies and profiles may
+    come and go).  Schema-1 baselines have no ``obs`` field and pre-v4
+    baselines no ``attr`` field — their cells compare as ``off``, which
+    is what they measured.  Snapshots from different scales never
+    compare — a scale change is a workload change, not a regression.
     """
     if current.get("scale") != baseline.get("scale"):
         return []
     base = {(c["policy"], c["workload"], c["engine"],
-             c.get("obs", "off")): c
+             c.get("obs", "off"), c.get("attr", "off")): c
             for c in baseline.get("cells", [])}
     regressions = []
     for c in current.get("cells", []):
         b = base.get((c["policy"], c["workload"], c["engine"],
-                      c.get("obs", "off")))
+                      c.get("obs", "off"), c.get("attr", "off")))
         if b is None or not b["blocks_per_sec"]:
             continue
         change = c["blocks_per_sec"] / b["blocks_per_sec"] - 1.0
@@ -295,7 +349,7 @@ def render_bench(result: dict,
     from repro.experiments.report import render_table
     by_key: dict[tuple[str, str], dict[str, dict]] = {}
     for c in result["cells"]:
-        if c.get("obs", "off") != "off":
+        if c.get("obs", "off") != "off" or c.get("attr", "off") != "off":
             continue
         by_key.setdefault((c["policy"], c["workload"]), {})[c["engine"]] = c
     rows = []
@@ -331,6 +385,13 @@ def render_bench(result: dict,
                 f"worst {worst:.3f}x):")
         for key, factor in sorted(overhead.items()):
             out += f"\n  {key}: {factor:.3f}x"
+    attr_overhead = result.get("attr_overhead") or {}
+    if attr_overhead:
+        worst = max(attr_overhead.values())
+        out += (f"\nattribution overhead (off/on blk/s, "
+                f"worst {worst:.3f}x):")
+        for key, factor in sorted(attr_overhead.items()):
+            out += f"\n  {key}: {factor:.3f}x"
     fleet = result.get("fleet")
     if fleet:
         out += (f"\nfleet scaling ({fleet['scheme']}, "
@@ -357,6 +418,7 @@ def render_bench(result: dict,
     return out
 
 
-__all__ = ["BenchCell", "DEFAULT_THRESHOLD", "OBS_MODES", "SCHEMA_VERSION",
-           "bench_filename", "compare_bench", "find_previous_bench",
-           "render_bench", "run_bench", "run_fleet_bench", "write_bench"]
+__all__ = ["ATTR_MODES", "BenchCell", "DEFAULT_THRESHOLD", "OBS_MODES",
+           "SCHEMA_VERSION", "bench_filename", "compare_bench",
+           "find_previous_bench", "render_bench", "run_bench",
+           "run_fleet_bench", "write_bench"]

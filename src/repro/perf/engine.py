@@ -66,6 +66,15 @@ from bisect import bisect_left, bisect_right
 
 import numpy as np
 
+from repro.obs.attribution import (
+    CAUSE_CANDIDATE,
+    CAUSE_DEADLINE_HORIZON,
+    CAUSE_DEADLINE_RESERVE,
+    CAUSE_GC_CAPACITY,
+    CAUSE_MAX_BLOCKS,
+    CAUSE_MAX_REQUESTS,
+    CAUSE_TRACE_END,
+)
 from repro.perf.expand import expand_trace
 from repro.placement.base import PlacementPolicy
 from repro.trace.model import OP_WRITE, Trace
@@ -145,6 +154,14 @@ class BatchedReplayEngine:
         self._has_candidates = (
             type(store.policy).candidate_user_gids
             is not PlacementPolicy.candidate_user_gids)
+        #: Chunk-bound attribution sink (NULL_ATTRIBUTION by default).
+        #: The chunk builders classify, per chunk, which constraint
+        #: terminated it and stash it in ``_chunk_cause``; the replay
+        #: loop reports it with the chunk's width.  All of it is behind
+        #: the cached ``_attr_on`` boolean.
+        self._attr = store.attribution
+        self._attr_on = store._attr_on
+        self._chunk_cause = CAUSE_TRACE_END
 
     # ------------------------------------------------------------------
     # replay loop
@@ -184,6 +201,8 @@ class BatchedReplayEngine:
             self._wts = wts.tolist()
             self._wgap = np.cumsum(gaps).tolist()
         obs_on = store._obs_on
+        attr_on = self._attr_on
+        attr = self._attr
         store.batched_mode = True
         try:
             i = 0
@@ -204,7 +223,10 @@ class BatchedReplayEngine:
                     # double-fire a deadline the policy re-armed during
                     # the first scan.
                     with prof.span("scalar_burst"):
-                        i = self._scalar_burst(i)
+                        i2 = self._scalar_burst(i)
+                    if attr_on:
+                        attr.on_scalar_burst(i2 - i, bs[i2] - bs[i])
+                    i = i2
                     continue
                 # -- apply the chunk ---------------------------------------
                 nwrites = self._wb[j] - self._wb[i]
@@ -235,6 +257,8 @@ class BatchedReplayEngine:
                             break
                         store.tick(ts[bisect_left(ts, nd)])
                 store.now_us = ts[j - 1]
+                if attr_on:
+                    attr.on_chunk(self._chunk_cause, j - i, wb1 - wb0)
                 i = j
         finally:
             store.batched_mode = False
@@ -300,9 +324,13 @@ class BatchedReplayEngine:
         nuser = len(user_gids)
         nsla_user = sum(1 for g in user_gids if is_sla[g])
 
-        def x_max(t_end: int) -> int:
-            """Max additional blocks, placed on any user-placeable group,
-            that provably keep free segments above the GC low watermark."""
+        def cap_parts(t_end: int) -> tuple[int, int]:
+            """``(capacity, fire_reserve)`` for additional blocks placed on
+            any user-placeable group such that free segments provably stay
+            above the GC low watermark; capacity is ``-1`` when already
+            placed blocks alone exhaust the slack.  Splitting the two
+            terms lets attribution tell a reserve-bound stall apart from
+            a raw-capacity one."""
             a_user = 0
             h1 = []
             trail = 0
@@ -318,7 +346,7 @@ class BatchedReplayEngine:
                     trail += 1
             allowed = slack - a_user
             if allowed < 0:
-                return -1
+                return -1, 0
             if nsla_user:
                 # Fires armed by the unplaced span itself (see docstring).
                 trail += nsla_user * ((t_end - ts[j]) // window)
@@ -333,7 +361,13 @@ class BatchedReplayEngine:
                 for f in h1[1:1 + take]:
                     cap += f if f < sb else sb
                 cap += (k - 1 - take) * sb
-            return cap - (sites + trail) * fire_unit
+            return cap, (sites + trail) * fire_unit
+
+        def x_max(t_end: int) -> int:
+            """Max additional blocks, placed on any user-placeable group,
+            that provably keep free segments above the GC low watermark."""
+            cap, reserve = cap_parts(t_end)
+            return cap - reserve if cap >= 0 else -1
 
         def feasible_capped(k: int, span_cums, wb_j: int) -> bool:
             """Candidates-aware feasibility of the span ``[j, k)``.
@@ -400,6 +434,8 @@ class BatchedReplayEngine:
 
         placed: list[np.ndarray] = []
         has_sla = bool(store._sla_groups)
+        attr_on = self._attr_on
+        cause = None
         j = i
         while j < n and bs[j] - wb_chunk < max_blocks:
             budget_blocks = max_blocks - (bs[j] - wb_chunk)
@@ -409,6 +445,8 @@ class BatchedReplayEngine:
                 hi = n
             hi = self._cap_blocks(j, hi, budget_blocks)
             if hi <= j:
+                # The next request's blocks alone blow the block budget.
+                cause = CAUSE_MAX_BLOCKS
                 break
             wb_j = bs[j]
             # Binary search the largest feasible request span.  The cheap
@@ -474,6 +512,21 @@ class BatchedReplayEngine:
                             hi = mid
                     k = lo
             if k <= j:
+                if attr_on:
+                    if span_cums is not None:
+                        # Stalled while the candidate-capped bound was the
+                        # operative (tighter) constraint.
+                        cause = CAUSE_CANDIDATE
+                    else:
+                        # Would one more request have fit without the
+                        # worst-case fire reserve?
+                        c_cap, c_res = cap_parts(ts[j])
+                        need = bs[j + 1] - bs[j]
+                        if c_cap >= 0 and need <= c_cap \
+                                and need > c_cap - c_res:
+                            cause = CAUSE_DEADLINE_RESERVE
+                        else:
+                            cause = CAUSE_GC_CAPACITY
                 break
             wb_k = bs[k]
             if wb_k > wb_j:
@@ -514,6 +567,16 @@ class BatchedReplayEngine:
                         counts[g] += 1
                         last_tb[g] = tb
             j = k
+        if attr_on:
+            if cause is None:
+                # Loop-condition exit: either the (possibly capped)
+                # request horizon or the block budget ran out.
+                if j >= n:
+                    cause = CAUSE_MAX_REQUESTS if n < ex.num_requests \
+                        else CAUSE_TRACE_END
+                else:
+                    cause = CAUSE_MAX_BLOCKS
+            self._chunk_cause = cause
         if j <= i:
             return i, None
         if not placed:
@@ -555,6 +618,15 @@ class BatchedReplayEngine:
         if not store._sla_groups:
             # No SLA windows anywhere: capacity is consumed by writes only.
             j = min(self._cap_blocks(i, n, min(cap, max_blocks)), n)
+            if self._attr_on:
+                if j >= ex.num_requests:
+                    self._chunk_cause = CAUSE_TRACE_END
+                elif j >= n:
+                    self._chunk_cause = CAUSE_MAX_REQUESTS
+                elif cap <= max_blocks:
+                    self._chunk_cause = CAUSE_GC_CAPACITY
+                else:
+                    self._chunk_cause = CAUSE_MAX_BLOCKS
         else:
             fu = self._fire_unit
             sites0 = sum(1 for g in store._sla_groups
@@ -587,6 +659,21 @@ class BatchedReplayEngine:
                     else:
                         hi = mid
                 j = lo
+            if self._attr_on:
+                # Binary-search invariant: feasible(j), not feasible(j+1)
+                # (when j < n) — re-derive which check failed.
+                if j >= ex.num_requests:
+                    self._chunk_cause = CAUSE_TRACE_END
+                elif j >= n:
+                    self._chunk_cause = CAUSE_MAX_REQUESTS
+                else:
+                    a = bs[j + 1] - bs[i]
+                    if a > max_blocks:
+                        self._chunk_cause = CAUSE_MAX_BLOCKS
+                    elif a > cap:
+                        self._chunk_cause = CAUSE_GC_CAPACITY
+                    else:
+                        self._chunk_cause = CAUSE_DEADLINE_RESERVE
         if j <= i:
             return i, None
         wb0, wb1 = bs[i], bs[j]
@@ -608,13 +695,27 @@ class BatchedReplayEngine:
         nd = store.next_deadline()
         if nd is not None and nd < horizon:
             horizon = nd
-        j = bisect_left(ts, horizon)
-        if j <= i:
-            j = i + 1  # window == 0: one request per chunk
+        j_h = bisect_left(ts, horizon)
+        if j_h <= i:
+            j_h = i + 1  # window == 0: one request per chunk
+        j = j_h
         if self.max_chunk_requests is not None:
             j = min(j, i + self.max_chunk_requests)
-        budget = min(self._gc_safe_blocks(), self.max_chunk_blocks)
-        return self._cap_blocks(i, j, budget)
+        gc_safe = self._gc_safe_blocks()
+        budget = min(gc_safe, self.max_chunk_blocks)
+        jc = self._cap_blocks(i, j, budget)
+        if self._attr_on:
+            if jc < j:
+                self._chunk_cause = CAUSE_GC_CAPACITY \
+                    if gc_safe <= self.max_chunk_blocks \
+                    else CAUSE_MAX_BLOCKS
+            elif jc >= ex.num_requests:
+                self._chunk_cause = CAUSE_TRACE_END
+            elif jc < j_h:
+                self._chunk_cause = CAUSE_MAX_REQUESTS
+            else:
+                self._chunk_cause = CAUSE_DEADLINE_HORIZON
+        return jc
 
     def _gc_safe_blocks(self) -> int:
         """Largest block count that cannot trip the GC low watermark.

@@ -95,6 +95,40 @@ def test_metrics_snapshots_identical_across_sharding():
     assert all(v["metrics"] is not None for v in sharded)
 
 
+def test_attribution_snapshots_identical_across_sharding():
+    """Attribution rides the volume reports: serial and sharded runs
+    carry identical snapshots, and the aggregate's merged sections are
+    identical JSON (the determinism contract the summary depends on)."""
+    spec = FleetSpec(num_volumes=4, volume_blocks=2048,
+                     volume_requests=900, chunk_requests=256,
+                     collect_metrics=True, collect_attribution=True)
+    serial = run_fleet(spec, workers=1)
+    sharded = shard_volumes(spec, 3)
+    assert serial.volumes == sharded
+    assert all(v["attribution"] is not None for v in sharded)
+    agg_serial = aggregate_fleet(serial.volumes)
+    agg_sharded = aggregate_fleet(sharded)
+    assert json.dumps(agg_serial, sort_keys=True) == \
+        json.dumps(agg_sharded, sort_keys=True)
+    attribution = agg_serial["attribution"]
+    assert attribution["volumes"] == 4
+    ledger = attribution["ledger"]
+    assert ledger["totals"]["user_blocks_requested"] == sum(
+        v["stats"]["user_blocks_requested"] for v in serial.volumes)
+    assert agg_serial["metrics_totals"]["volumes"] == 4
+    assert agg_serial["metrics_totals"]["counters"][
+        "lss_user_blocks_total"] == \
+        ledger["totals"]["user_blocks_requested"]
+
+
+def test_attribution_absent_without_opt_in():
+    spec = FleetSpec(num_volumes=2, volume_blocks=2048,
+                     volume_requests=600, chunk_requests=256)
+    result = run_fleet(spec, workers=1)
+    assert all(v["attribution"] is None for v in result.volumes)
+    assert "attribution" not in aggregate_fleet(result.volumes)
+
+
 def test_process_pool_matches_inline(tmp_path):
     pool = run_fleet(TINY, workers=2, checkpoint_every=2,
                      out_dir=str(tmp_path / "pool"))
@@ -145,7 +179,7 @@ def test_checkpoint_requires_out_dir():
 def test_summary_shape_and_determinism(tmp_path):
     result = run_fleet(TINY, workers=1, out_dir=str(tmp_path))
     s = result.summary
-    assert s["schema"] == 1
+    assert s["schema"] == 2
     assert s["fleet_key"] == TINY.fleet_key()
     assert [v["volume"] for v in s["volumes"]] == TINY.tenant_ids()
     agg = s["aggregate"]

@@ -56,6 +56,7 @@ def test_max_events_drops_raw_but_keeps_aggregates():
     assert p.dropped_events == 3
     assert p.totals["x"][0] == 5
     assert "3 raw spans dropped" in p.top_table()
+    assert "profile_events_dropped=3" in p.top_table()
     with pytest.raises(ValueError):
         PhaseProfiler(max_events=-1)
 
@@ -70,7 +71,9 @@ def test_chrome_trace_structure():
     assert ev["ph"] == "X" and ev["name"] == "chunk_build"
     assert ev["dur"] >= 0 and ev["ts"] >= 0  # microseconds
     assert ev["args"] == {"chunk": 7}
-    assert trace["otherData"] == {"dropped_events": 0}
+    assert trace["otherData"] == {"dropped_events": 0,
+                                  "profile_events_dropped": 0,
+                                  "max_events": 200_000}
 
 
 def test_write_chrome_trace_creates_parents(tmp_path):

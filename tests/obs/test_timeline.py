@@ -111,6 +111,36 @@ def test_jsonl_export_roundtrip(tmp_path):
     assert not math.isnan(lines[-1]["write_amplification"])
 
 
+def test_attribution_columns_track_recorder_totals():
+    from repro.obs.attribution import AttributionRecorder
+    from repro.obs.timeline import ATTR_COLUMNS
+    cfg = LSSConfig(logical_blocks=4096, segment_blocks=64)
+    timeline = ReplayTimeline(every_blocks=512)
+    rec = ObsRecorder(timeline=timeline)
+    attr = AttributionRecorder()
+    store = LogStructuredStore(cfg, make_policy("adapt", cfg),
+                               recorder=rec, attribution=attr)
+    trace = generate_ycsb_a(4096, 12_000, density=DensityPreset.LIGHT,
+                            read_ratio=0.0, seed=3)
+    store.replay(trace)
+    assert set(ATTR_COLUMNS) <= set(timeline.columns)
+    arrays = timeline.to_arrays()
+    victims = arrays["attr_gc_victims"]
+    assert (np.diff(victims) >= 0).all()  # cumulative
+    final = dict(zip(timeline.columns, timeline.rows[-1]))
+    assert final["attr_gc_victims"] == attr.total_victims
+    assert final["attr_migrated_user_origin"] == \
+        attr.total_migrated_user_origin
+    assert final["attr_migrated_gc_origin"] == \
+        attr.total_migrated_gc_origin
+
+
+def test_no_attribution_columns_without_recorder():
+    from repro.obs.timeline import ATTR_COLUMNS
+    _, tl = _replay()
+    assert not set(ATTR_COLUMNS) & set(tl.columns)
+
+
 def test_recorder_snapshot_reports_timeline_rows():
     _, tl = _replay()
     # snapshot() is produced via the recorder bound in _replay; rebuild

@@ -129,6 +129,88 @@ def test_obs_axis_cells_and_overhead():
                   obs_modes=("metrics", "bogus"))
 
 
+def test_attr_axis_cells_and_overhead():
+    result = run_bench(TINY, policies=["sepgc"], profiles=("ali",),
+                       repeats=1, obs_modes=("off", "metrics"),
+                       attr_modes=("off", "on"), date="2026-01-02")
+    cells = result["cells"]
+    modes = {(c["engine"], c["obs"], c["attr"]) for c in cells}
+    # attr=on only pairs with obs=off: the two overhead axes never
+    # confound each other.
+    assert modes == {("scalar", "off", "off"), ("scalar", "off", "on"),
+                     ("scalar", "metrics", "off"),
+                     ("batched", "off", "off"), ("batched", "off", "on"),
+                     ("batched", "metrics", "off")}
+    # Attribution must never change the replayed work.
+    assert len({c["user_blocks"] for c in cells}) == 1
+    assert set(result["attr_overhead"]) == {"sepgc/ali/scalar",
+                                            "sepgc/ali/batched"}
+    assert all(v > 0 for v in result["attr_overhead"].values())
+    # Speedups and obs overhead only compare attr=off cells.
+    assert set(result["speedups"]) == {"sepgc/ali"}
+    assert set(result["obs_overhead"]) == {"sepgc/ali/scalar",
+                                           "sepgc/ali/batched"}
+    out = render_bench(result)
+    assert "attribution overhead" in out
+    with pytest.raises(ValueError, match="unknown attr mode"):
+        run_bench(TINY, policies=["sepgc"], profiles=("ali",), repeats=1,
+                  attr_modes=("on", "bogus"))
+
+
+def test_compare_bench_matches_on_attr_mode():
+    base = _snap(sepgc=1000.0)
+    cur = _snap(sepgc=400.0)
+    for c in cur["cells"]:
+        c["attr"] = "on"
+    # attr=on cells never compare against (implicit) attr=off cells.
+    assert compare_bench(cur, base, threshold=0.25) == []
+    for c in base["cells"]:
+        c["attr"] = "on"
+    assert len(compare_bench(cur, base, threshold=0.25)) == 1
+
+
+@pytest.mark.slow
+def test_attribution_overhead_under_budget():
+    """Attribution (provenance tagging + chunk-cause hooks) must cost
+    < 15% of batched replay throughput, measured the same way as the
+    metrics-overhead gate: aggregate over policies, interleaved repeats,
+    best-of per cell."""
+    import time
+
+    from repro.experiments.runner import store_config_for
+    from repro.experiments.workloads import fleet_for
+    from repro.lss.store import LogStructuredStore
+    from repro.obs.attribution import AttributionRecorder
+    from repro.placement.registry import make_policy
+
+    scale = Scale("aovh", num_volumes=1, volume_blocks=8192,
+                  volume_requests=6000, stats_volumes=1,
+                  ycsb_blocks=8192, ycsb_writes=4000)
+    trace = fleet_for("ali", scale)[0]
+
+    def one(policy, instrumented):
+        cfg = store_config_for(scale.volume_blocks, seed=0)
+        attr = AttributionRecorder() if instrumented else None
+        store = LogStructuredStore(cfg, make_policy(policy, cfg),
+                                   attribution=attr)
+        t0 = time.perf_counter()
+        store.replay(trace, engine="batched")
+        return time.perf_counter() - t0
+
+    total_off = total_on = 0.0
+    for policy in ("sepgc", "adapt", "sepbit"):
+        one(policy, False)  # warm-up: caches, lazy imports
+        offs, ons = [], []
+        for _ in range(3):
+            offs.append(one(policy, False))
+            ons.append(one(policy, True))
+        total_off += min(offs)
+        total_on += min(ons)
+    overhead = total_on / total_off - 1.0
+    assert overhead < 0.15, \
+        f"attribution overhead {overhead:.1%} exceeds the 15% budget"
+
+
 def test_compare_bench_matches_on_obs_mode():
     base = _snap(sepgc=1000.0)
     cur = _snap(sepgc=400.0)
